@@ -1,0 +1,162 @@
+// Package c2nn compiles digital circuits into computationally equivalent
+// neural networks for high-throughput RTL simulation, reproducing
+// "Neural Network Compiler for Parallel High-Throughput Simulation of
+// Digital Circuits" (IPDPS 2023).
+//
+// The pipeline (paper Fig. 1):
+//
+//	Verilog ─▶ netlist ─▶ AIG ─▶ K-LUT graph ─▶ multi-linear
+//	polynomials ─▶ merged threshold network ─▶ batched parallel engine
+//
+// This package is the public facade over the implementation packages:
+//
+//	internal/verilog    HDL frontend (lexer, parser)
+//	internal/synth      elaboration and bit-blasting
+//	internal/netlist    gate-level IR
+//	internal/gatesim    baseline cycle simulators (the Verilator stand-in)
+//	internal/aig        and-inverter graphs
+//	internal/lutmap     K-feasible-cut technology mapping (priority cuts, FlowMap)
+//	internal/truthtab   packed truth tables
+//	internal/poly       multi-linear polynomials (Algorithm 1 + DNF baseline)
+//	internal/nn         network construction, layer merging, model files
+//	internal/tensor     sparse CSR float32/int32 kernels
+//	internal/simengine  batched multi-goroutine execution engine
+//	internal/circuits   the six Table I benchmark designs
+//	internal/bench      experiment harness (Table I, Fig. 4, Fig. 6, ablations)
+//	internal/vcd        VCD waveform writer
+//	internal/testbench  stimulus-script format and runner
+package c2nn
+
+import (
+	"c2nn/internal/circuits"
+	"c2nn/internal/gatesim"
+	"c2nn/internal/lutmap"
+	"c2nn/internal/netlist"
+	"c2nn/internal/nn"
+	"c2nn/internal/simengine"
+	"c2nn/internal/synth"
+)
+
+// Re-exported core types.
+type (
+	// Model is a compiled circuit: the neural network plus port and
+	// flip-flop metadata.
+	Model = nn.Model
+	// Engine executes a model over stimulus batches.
+	Engine = simengine.Engine
+	// EngineOptions configures batch size, workers and precision.
+	EngineOptions = simengine.Options
+	// Netlist is the gate-level intermediate representation.
+	Netlist = netlist.Netlist
+	// Circuit is a built-in benchmark design.
+	Circuit = circuits.Circuit
+)
+
+// Options configures CompileVerilog.
+type Options struct {
+	// Top selects the top module; empty infers the unique uninstantiated
+	// module.
+	Top string
+	// L is the LUT size hyperparameter (default 7). Larger L gives
+	// shallower networks with exponentially more connections (§III-B1).
+	L int
+	// NoMerge disables the depth-halving layer merge of §III-D.
+	NoMerge bool
+	// FlowMap selects the depth-optimal mapper instead of priority cuts.
+	FlowMap bool
+	// CoalesceWide, when > 0, merges chains of pure AND/OR LUTs into
+	// wide LUTs of up to this many inputs after mapping — the §V
+	// "polynomial libraries for known functions" improvement. Wide ANDs
+	// and ORs keep trivially sparse polynomials at any width.
+	CoalesceWide int
+}
+
+func (o *Options) fill() {
+	if o.L == 0 {
+		o.L = 7
+	}
+}
+
+// CompileVerilog compiles Verilog sources (path -> contents) into a
+// neural-network model.
+func CompileVerilog(sources map[string]string, opts Options) (*Model, error) {
+	opts.fill()
+	nl, err := synth.ElaborateSource(opts.Top, sources)
+	if err != nil {
+		return nil, err
+	}
+	return compileNetlist(nl, opts)
+}
+
+// CompileBenchmark compiles one of the built-in Table I circuits
+// ("AES", "SHA", "SPI", "UART", "DMA", "RISC-V interface").
+func CompileBenchmark(name string, opts Options) (*Model, error) {
+	opts.fill()
+	c, err := circuits.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := c.Elaborate()
+	if err != nil {
+		return nil, err
+	}
+	return compileNetlist(nl, opts)
+}
+
+func compileNetlist(nl *netlist.Netlist, opts Options) (*Model, error) {
+	alg := lutmap.PriorityCuts
+	if opts.FlowMap {
+		alg = lutmap.FlowMap
+	}
+	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: opts.L, Algorithm: alg})
+	if err != nil {
+		return nil, err
+	}
+	if opts.CoalesceWide > 0 {
+		g, err := lutmap.Coalesce(m.Graph, opts.CoalesceWide)
+		if err != nil {
+			return nil, err
+		}
+		m.Graph = g
+	}
+	return nn.Build(nl, m, nn.BuildOptions{Merge: !opts.NoMerge, L: opts.L})
+}
+
+// NewEngine creates a batched simulation engine for a model.
+func NewEngine(m *Model, opts EngineOptions) (*Engine, error) {
+	return simengine.New(m, opts)
+}
+
+// LoadModel reads a .c2nn model file.
+func LoadModel(path string) (*Model, error) { return nn.LoadFile(path) }
+
+// Verify compiles the given benchmark circuit at LUT size l and checks
+// the neural network against the gate-level reference on random stimuli
+// (the paper's §IV-A correctness check). It returns the number of output
+// comparisons performed.
+func Verify(name string, l, cycles, batch int, seed int64) (int64, error) {
+	c, err := circuits.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	nl, err := c.Elaborate()
+	if err != nil {
+		return 0, err
+	}
+	model, err := compileNetlist(nl, Options{L: l})
+	if err != nil {
+		return 0, err
+	}
+	prog, err := gatesim.Compile(nl)
+	if err != nil {
+		return 0, err
+	}
+	res, err := simengine.Verify(model, prog, cycles, batch, seed)
+	if err != nil {
+		return 0, err
+	}
+	return res.Compared, nil
+}
+
+// Benchmarks returns the built-in benchmark circuits.
+func Benchmarks() []Circuit { return circuits.All() }

@@ -1,0 +1,126 @@
+// Command bench regenerates the paper's evaluation: Table I, Fig. 4,
+// Fig. 6 and the design-choice ablations. Results print as aligned text
+// tables matching the rows/series the paper reports.
+//
+// Usage:
+//
+//	bench -table1                      # all circuits, L = 3,7,11
+//	bench -table1 -circuits UART,SPI -L 3,5,7
+//	bench -fig4
+//	bench -fig6
+//	bench -ablations
+//	bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"c2nn/internal/bench"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "regenerate Table I")
+		fig4      = flag.Bool("fig4", false, "regenerate Fig. 4 (polynomial generation time)")
+		fig6      = flag.Bool("fig6", false, "regenerate Fig. 6 (UART L sweep)")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		influence = flag.Bool("influence", false, "check the §II-B sensitivity-vs-density hypothesis over the mapped LUTs")
+		all       = flag.Bool("all", false, "run everything")
+		circuitsF = flag.String("circuits", "", "comma-separated circuit names for -table1 (default all)")
+		lsF       = flag.String("L", "3,7,11", "comma-separated LUT sizes for -table1")
+		batch     = flag.Int("batch", 256, "NN stimulus batch size")
+		minMs     = flag.Int("min-ms", 300, "per-measurement time floor in milliseconds")
+		verifyC   = flag.Int("verify-cycles", 16, "equivalence-check cycles per Table I row (0 skips)")
+		quiet     = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	ran := false
+
+	if *table1 || *all {
+		ran = true
+		cfg := bench.DefaultTable1Config()
+		cfg.Batch = *batch
+		cfg.MinMeasure = time.Duration(*minMs) * time.Millisecond
+		cfg.VerifyCycles = *verifyC
+		if *lsF != "" {
+			cfg.Ls = nil
+			for _, s := range strings.Split(*lsF, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					fatal(err)
+				}
+				cfg.Ls = append(cfg.Ls, v)
+			}
+		}
+		var names []string
+		if *circuitsF != "" {
+			for _, s := range strings.Split(*circuitsF, ",") {
+				names = append(names, strings.TrimSpace(s))
+			}
+		}
+		rows, err := bench.RunTable1(names, cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n=== Table I ===")
+		fmt.Print(bench.FormatTable1(rows))
+	}
+
+	if *fig4 || *all {
+		ran = true
+		rows := bench.RunFig4(bench.DefaultFig4Config(), progress)
+		fmt.Println("\n=== Fig. 4: polynomial generation time ===")
+		fmt.Print(bench.FormatFig4(rows))
+	}
+
+	if *fig6 || *all {
+		ran = true
+		cfg := bench.DefaultFig6Config()
+		rows, err := bench.RunFig6(cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n=== Fig. 6: UART LUT-size sweep ===")
+		fmt.Print(bench.FormatFig6(rows))
+	}
+
+	if *ablations || *all {
+		ran = true
+		rows, err := bench.RunAblations(bench.DefaultAblationConfig(), progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n=== Ablations ===")
+		fmt.Print(bench.FormatAblations(rows))
+	}
+
+	if *influence || *all {
+		ran = true
+		rows, err := bench.RunInfluence(nil, 7, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n=== §II-B: LUT sensitivity vs polynomial density (L=7) ===")
+		fmt.Print(bench.FormatInfluence(rows))
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command c2nn is the compiler CLI: it reads Verilog sources (or a
+// built-in benchmark circuit) and produces a .c2nn neural-network model
+// file, mirroring the paper's Fig. 1 pipeline end to end.
+//
+// Usage:
+//
+//	c2nn -o design.c2nn -L 7 [-top name] file1.v file2.v ...
+//	c2nn -o aes.c2nn -L 11 -circuit AES
+//
+// Flags:
+//
+//	-L n         LUT size hyperparameter (default 7)
+//	-top name    top module (default: inferred)
+//	-o path      output model file (default: <top>.c2nn)
+//	-circuit n   compile a built-in benchmark circuit instead of files
+//	-no-merge    disable the depth-halving layer merge (§III-D)
+//	-flowmap     use the FlowMap depth-optimal mapper
+//	-stats       print netlist / mapping / network statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"c2nn/internal/aig"
+	"c2nn/internal/circuits"
+	"c2nn/internal/lutmap"
+	"c2nn/internal/netlist"
+	"c2nn/internal/nn"
+	"c2nn/internal/synth"
+	"c2nn/internal/verilog"
+)
+
+// writeAIG lowers the flip-flop-cut combinational core to an AIG and
+// writes it in AIGER format (ASCII for .aag paths, binary otherwise).
+func writeAIG(nl *netlist.Netlist, path string) error {
+	g, lits, err := aig.FromNetlist(nl)
+	if err != nil {
+		return err
+	}
+	outs := make([]aig.Lit, 0, len(nl.CombOutputs()))
+	for _, net := range nl.CombOutputs() {
+		outs = append(outs, lits[net])
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".aag") {
+		return g.WriteAAG(f, outs)
+	}
+	return g.WriteAIGBinary(f, outs)
+}
+
+func main() {
+	var (
+		lutSize = flag.Int("L", 7, "LUT size (max inputs per Boolean function)")
+		top     = flag.String("top", "", "top module name (default: inferred)")
+		out     = flag.String("o", "", "output model path (default: <top>.c2nn)")
+		circuit = flag.String("circuit", "", "compile a built-in benchmark circuit (AES, SHA, SPI, UART, DMA, RISC-V interface)")
+		noMerge = flag.Bool("no-merge", false, "disable layer merging (keeps the explicit hidden/linear alternation)")
+		flowmap = flag.Bool("flowmap", false, "use the FlowMap depth-optimal mapper instead of priority cuts")
+		stats   = flag.Bool("stats", false, "print pipeline statistics")
+		aigOut  = flag.String("aig", "", "also write the combinational core as an AIGER file (.aag = ASCII, else binary)")
+	)
+	flag.Parse()
+
+	if err := run(*lutSize, *top, *out, *circuit, !*noMerge, *flowmap, *stats, *aigOut, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "c2nn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lutSize int, top, out, circuit string, merge, useFlowmap, stats bool, aigOut string, files []string) error {
+	start := time.Now()
+
+	var nl *netlist.Netlist
+	switch {
+	case circuit != "":
+		c, err := circuits.ByName(circuit)
+		if err != nil {
+			return err
+		}
+		nl, err = c.Elaborate()
+		if err != nil {
+			return err
+		}
+	case len(files) > 0:
+		sources := make(map[string]string, len(files))
+		var order []string
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			sources[f] = string(data)
+			order = append(order, f)
+		}
+		design, err := verilog.BuildDesign(sources, order)
+		if err != nil {
+			return err
+		}
+		nl, err = synth.Elaborate(design, synth.Options{Top: top, Optimize: true})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("no input: pass Verilog files or -circuit (see -h)")
+	}
+
+	if stats {
+		fmt.Print(nl.ComputeStats())
+	}
+
+	if aigOut != "" {
+		if err := writeAIG(nl, aigOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote AIGER to %s\n", aigOut)
+	}
+
+	alg := lutmap.PriorityCuts
+	if useFlowmap {
+		alg = lutmap.FlowMap
+	}
+	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: lutSize, Algorithm: alg})
+	if err != nil {
+		return err
+	}
+	if stats {
+		ms := m.Graph.ComputeStats()
+		fmt.Printf("mapping: %d LUTs, depth %d, mean arity %.2f (K=%d)\n",
+			ms.LUTs, ms.Depth, ms.MeanIns, ms.K)
+	}
+
+	model, err := nn.Build(nl, m, nn.BuildOptions{Merge: merge, L: lutSize})
+	if err != nil {
+		return err
+	}
+	if stats {
+		ns := model.Net.ComputeStats()
+		fmt.Printf("network: %d layers, %d neurons, %d connections, mean sparsity %.5f\n",
+			ns.Layers, ns.Neurons, ns.Connections, ns.MeanSparsity)
+	}
+
+	if out == "" {
+		out = nl.Name + ".c2nn"
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	n, err := model.SaveFile(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled %q (%d gates) at L=%d in %s -> %s (%.2f MB)\n",
+		nl.Name, nl.GateCount(), lutSize, time.Since(start).Round(time.Millisecond),
+		out, float64(n)/1e6)
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command circuitgen emits the benchmark Verilog designs to disk so they
+// can be inspected, modified, or fed to other tools (or back into
+// cmd/c2nn).
+//
+// Usage:
+//
+//	circuitgen -list
+//	circuitgen -out rtl/ AES SHA
+//	circuitgen -out rtl/            (all circuits)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"c2nn/internal/circuits"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "rtl", "output directory")
+		list = flag.Bool("list", false, "list available circuits")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range circuits.All() {
+			nl, err := c.Elaborate()
+			if err != nil {
+				fmt.Printf("%-18s ERROR: %v\n", c.Name, err)
+				continue
+			}
+			fmt.Printf("%-18s top=%-12s %6d LoC %7d gates  %s\n",
+				c.Name, c.Top, c.LinesOfCode(), nl.GateCount(), c.Description)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, c := range circuits.All() {
+			names = append(names, c.Name)
+		}
+	}
+	for _, name := range names {
+		c, err := circuits.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circuitgen:", err)
+			os.Exit(1)
+		}
+		dir := filepath.Join(*out, c.Top)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "circuitgen:", err)
+			os.Exit(1)
+		}
+		srcs := c.Generate()
+		var paths []string
+		for p := range srcs {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			full := filepath.Join(dir, p)
+			if err := os.WriteFile(full, []byte(srcs[p]), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "circuitgen:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", full)
+		}
+	}
+}

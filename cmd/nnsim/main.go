@@ -1,0 +1,225 @@
+// Command nnsim runs a compiled .c2nn model: batched multi-cycle
+// simulation with random or scripted stimuli, or an equivalence check
+// against the gate-level simulator (the paper's §IV-A verification).
+//
+// Usage:
+//
+//	nnsim -model design.c2nn -cycles 1000 -batch 256
+//	nnsim -circuit UART -L 7 -verify -cycles 64
+//
+// With -verify the named built-in circuit is compiled fresh and the NN
+// engine is compared output-for-output against the levelized gate-level
+// reference on identical random stimuli.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"c2nn/internal/bench"
+	"c2nn/internal/circuits"
+	"c2nn/internal/nn"
+	"c2nn/internal/simengine"
+	"c2nn/internal/testbench"
+	"c2nn/internal/vcd"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "compiled .c2nn model file")
+		circuit   = flag.String("circuit", "", "built-in circuit to compile and run")
+		lutSize   = flag.Int("L", 7, "LUT size when compiling a built-in circuit")
+		cycles    = flag.Int("cycles", 256, "clock cycles to simulate")
+		batch     = flag.Int("batch", 256, "stimuli per batch (stimulus parallelism)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (structural parallelism)")
+		verify    = flag.Bool("verify", false, "compare NN outputs against the gate-level simulator")
+		useInt    = flag.Bool("int32", false, "use integer kernels instead of float32")
+		seed      = flag.Int64("seed", 1, "stimulus seed")
+		vcdPath   = flag.String("vcd", "", "dump lane-0 port waveforms to this VCD file")
+		tbPath    = flag.String("tb", "", "run a testbench script (set/step/expect directives) instead of random stimuli")
+		info      = flag.Bool("info", false, "print the per-layer structure of the model and exit")
+	)
+	flag.Parse()
+
+	if err := run(*modelPath, *circuit, *lutSize, *cycles, *batch, *workers, *verify, *useInt, *info, *seed, *vcdPath, *tbPath); err != nil {
+		fmt.Fprintln(os.Stderr, "nnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath, circuit string, lutSize, cycles, batch, workers int, verify, useInt, info bool, seed int64, vcdPath, tbPath string) error {
+	var model *nn.Model
+	var res *bench.CompileResult
+
+	switch {
+	case circuit != "":
+		c, err := circuits.ByName(circuit)
+		if err != nil {
+			return err
+		}
+		res, err = bench.Compile(c, lutSize, true)
+		if err != nil {
+			return err
+		}
+		model = res.Model
+		fmt.Printf("compiled %s at L=%d in %s (%d gates, %d layers)\n",
+			c.Name, lutSize, res.GenTime.Round(time.Millisecond),
+			model.GateCount, len(model.Net.Layers))
+	case modelPath != "":
+		var err error
+		model, err = nn.LoadFile(modelPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %q: circuit %s, L=%d, %d layers, %d gates\n",
+			modelPath, model.CircuitName, model.L, len(model.Net.Layers), model.GateCount)
+	default:
+		return fmt.Errorf("pass -model or -circuit (see -h)")
+	}
+
+	if info {
+		printInfo(model)
+		return nil
+	}
+
+	if verify {
+		if res == nil {
+			return fmt.Errorf("-verify needs -circuit (the gate-level reference is compiled from source)")
+		}
+		vres, err := simengine.Verify(model, res.Program, cycles, min(batch, 16), seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("VERIFIED: %d cycles x %d lanes x %d ports, %d comparisons, all identical\n",
+			vres.Cycles, vres.Batch, vres.Ports, vres.Compared)
+		return nil
+	}
+
+	prec := simengine.Float32
+	if useInt {
+		prec = simengine.Int32
+	}
+	eng, err := simengine.New(model, simengine.Options{Batch: batch, Workers: workers, Precision: prec})
+	if err != nil {
+		return err
+	}
+
+	if tbPath != "" {
+		src, err := os.ReadFile(tbPath)
+		if err != nil {
+			return err
+		}
+		script, err := testbench.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		res, err := script.Run(eng)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tbPath, err)
+		}
+		fmt.Printf("testbench PASSED: %d steps, %d checks, %d stimulus loads\n",
+			res.Steps, res.Checks, res.Applied)
+		return nil
+	}
+
+	var tracer *vcd.PortTracer
+	if vcdPath != "" {
+		f, err := os.Create(vcdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		widths := make(map[string]int)
+		for _, p := range model.Inputs {
+			widths[p.Name] = len(p.Units)
+		}
+		for _, p := range model.Outputs {
+			widths[p.Name] = len(p.Units)
+		}
+		tracer = vcd.NewPortTracer(vcd.NewWriter(f, "1ns", model.CircuitName), widths)
+		defer tracer.Close()
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]uint64, batch)
+	sample := make(map[string]uint64)
+	start := time.Now()
+	for cyc := 0; cyc < cycles; cyc++ {
+		for _, in := range model.Inputs {
+			for b := range vals {
+				v := rng.Uint64()
+				if w := len(in.Units); w < 64 {
+					v &= 1<<uint(w) - 1
+				}
+				vals[b] = v
+			}
+			if err := eng.SetInput(in.Name, vals); err != nil {
+				return err
+			}
+			if tracer != nil {
+				sample[in.Name] = vals[0]
+			}
+		}
+		if tracer != nil {
+			eng.Forward()
+			for _, out := range model.Outputs {
+				v, err := eng.GetOutput(out.Name)
+				if err != nil {
+					return err
+				}
+				sample[out.Name] = v[0]
+			}
+			tracer.Sample(uint64(cyc), sample)
+			eng.LatchFeedback()
+			continue
+		}
+		eng.Step()
+	}
+	elapsed := time.Since(start)
+	gcs := simengine.Throughput(model.GateCount, cycles, batch, elapsed)
+	fmt.Printf("simulated %d cycles x %d lanes in %s\n", cycles, batch, elapsed.Round(time.Microsecond))
+	fmt.Printf("throughput: %.3E gates*cycles/s\n", gcs)
+
+	eng.Forward()
+	for _, out := range model.Outputs {
+		v, err := eng.GetOutput(out.Name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s[lane0] = %#x\n", out.Name, v[0])
+	}
+	return nil
+}
+
+// printInfo renders the per-layer structure of a model.
+func printInfo(model *nn.Model) {
+	stats := model.Net.ComputeStats()
+	fmt.Printf("circuit %s, L=%d, merged=%v, %d gates, %d flip-flop feedbacks\n",
+		model.CircuitName, model.L, model.Merged, model.GateCount, len(model.Feedback))
+	fmt.Printf("%d layers, %d neurons, %d connections, mean sparsity %.5f, %.2f MB on disk\n\n",
+		stats.Layers, stats.Neurons, stats.Connections, stats.MeanSparsity,
+		float64(model.MemoryBytes())/1e6)
+	fmt.Printf("%-6s %-10s %10s %10s %12s %10s\n", "layer", "kind", "rows", "cols", "nnz", "sparsity")
+	for i := range model.Net.Layers {
+		l := &model.Net.Layers[i]
+		kind := "linear"
+		if l.Threshold {
+			kind = "threshold"
+		}
+		fmt.Printf("%-6d %-10s %10d %10d %12d %10.5f\n",
+			i, kind, l.W.Rows, l.W.Cols, l.W.NNZ(), l.W.Sparsity())
+	}
+	fmt.Printf("\ninputs:")
+	for _, p := range model.Inputs {
+		fmt.Printf(" %s[%d]", p.Name, len(p.Units))
+	}
+	fmt.Printf("\noutputs:")
+	for _, p := range model.Outputs {
+		fmt.Printf(" %s[%d]", p.Name, len(p.Units))
+	}
+	fmt.Println()
+}

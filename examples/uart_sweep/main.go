@@ -1,0 +1,41 @@
+// UART LUT-size sweep: reproduces Fig. 6 of the paper on the UART
+// benchmark. For each L it reports the NN layer count and connection
+// count, and the single-stimulus simulation time in parallel ("GPU"
+// analogue) and sequential (CPU) modes — showing that parallel time
+// tracks depth (~1/log2 L) while sequential time tracks connections
+// (~2^L).
+//
+//	go run ./examples/uart_sweep [-min 2] [-max 11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"c2nn/internal/bench"
+)
+
+func main() {
+	minL := flag.Int("min", 2, "smallest LUT size")
+	maxL := flag.Int("max", 11, "largest LUT size")
+	flag.Parse()
+
+	rows, err := bench.RunFig6(bench.Fig6Config{
+		Circuit: "UART", MinL: *minL, MaxL: *maxL, Reps: 30,
+	}, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(bench.FormatFig6(rows))
+
+	// Correlate, as Fig. 6 does: parallel time vs layers, sequential
+	// time vs connections.
+	first, last := rows[0], rows[len(rows)-1]
+	fmt.Printf("\nlayers:      L=%d -> %d,  L=%d -> %d  (decreasing, ~1/log2 L)\n",
+		first.L, first.Layers, last.L, last.Layers)
+	fmt.Printf("connections: L=%d -> %d,  L=%d -> %d  (increasing, ~2^L)\n",
+		first.L, first.Connections, last.L, last.Connections)
+}

@@ -1,0 +1,3 @@
+module c2nn
+
+go 1.24

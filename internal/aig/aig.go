@@ -1,0 +1,268 @@
+// Package aig implements And-Inverter Graphs with structural hashing —
+// the canonical two-input representation of combinational logic that the
+// LUT mapper operates on. The paper (§III-B1, footnote 5) notes that an
+// AIG is exactly the L = 2 computation graph; here it is the input to
+// the K-feasible-cut mapping that produces the L-LUT graph of Fig. 3.
+package aig
+
+import (
+	"fmt"
+
+	"c2nn/internal/netlist"
+)
+
+// Lit is a literal: a node index shifted left once, with the low bit as
+// the complement flag. The constant-false node is node 0, so LitFalse=0
+// and LitTrue=1.
+type Lit int32
+
+// Constant literals.
+const (
+	LitFalse Lit = 0
+	LitTrue  Lit = 1
+)
+
+// MakeLit builds a literal from a node index and complement flag.
+func MakeLit(node int32, neg bool) Lit {
+	l := Lit(node << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the node index of the literal.
+func (l Lit) Node() int32 { return int32(l >> 1) }
+
+// Neg reports whether the literal is complemented.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Flip returns the complemented literal.
+func (l Lit) Flip() Lit { return l ^ 1 }
+
+// FlipIf complements the literal when c is true.
+func (l Lit) FlipIf(c bool) Lit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+// node is an AND node (for indices > numPIs) or a primary input
+// (1..numPIs) or the constant (0).
+type node struct {
+	a, b Lit // valid only for AND nodes
+}
+
+// AIG is an and-inverter graph. Node 0 is the constant-false source;
+// nodes 1..NumPIs() are primary inputs; the rest are AND nodes in
+// topological order.
+type AIG struct {
+	nodes  []node
+	numPIs int
+	hash   map[[2]Lit]int32
+}
+
+// New creates an AIG with n primary inputs.
+func New(numPIs int) *AIG {
+	g := &AIG{
+		nodes:  make([]node, 1+numPIs),
+		numPIs: numPIs,
+		hash:   make(map[[2]Lit]int32),
+	}
+	return g
+}
+
+// NumPIs returns the number of primary inputs.
+func (g *AIG) NumPIs() int { return g.numPIs }
+
+// NumNodes returns the total node count including constant and PIs.
+func (g *AIG) NumNodes() int { return len(g.nodes) }
+
+// NumAnds returns the number of AND nodes.
+func (g *AIG) NumAnds() int { return len(g.nodes) - 1 - g.numPIs }
+
+// PI returns the literal of primary input i (0-based).
+func (g *AIG) PI(i int) Lit {
+	if i < 0 || i >= g.numPIs {
+		panic(fmt.Sprintf("aig: PI %d out of range", i))
+	}
+	return MakeLit(int32(i+1), false)
+}
+
+// IsPI reports whether the node index is a primary input.
+func (g *AIG) IsPI(n int32) bool { return n >= 1 && n <= int32(g.numPIs) }
+
+// IsConst reports whether the node index is the constant node.
+func (g *AIG) IsConst(n int32) bool { return n == 0 }
+
+// IsAnd reports whether the node index is an AND node.
+func (g *AIG) IsAnd(n int32) bool { return n > int32(g.numPIs) }
+
+// Fanins returns the fanin literals of an AND node.
+func (g *AIG) Fanins(n int32) (Lit, Lit) {
+	return g.nodes[n].a, g.nodes[n].b
+}
+
+// And returns a literal computing a AND b, folding constants and
+// idempotence and reusing structurally identical nodes.
+func (g *AIG) And(a, b Lit) Lit {
+	// Constant and trivial folds.
+	if a == LitFalse || b == LitFalse {
+		return LitFalse
+	}
+	if a == LitTrue {
+		return b
+	}
+	if b == LitTrue {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if a == b.Flip() {
+		return LitFalse
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Lit{a, b}
+	if idx, ok := g.hash[key]; ok {
+		return MakeLit(idx, false)
+	}
+	idx := int32(len(g.nodes))
+	g.nodes = append(g.nodes, node{a: a, b: b})
+	g.hash[key] = idx
+	return MakeLit(idx, false)
+}
+
+// Or returns a literal computing a OR b.
+func (g *AIG) Or(a, b Lit) Lit { return g.And(a.Flip(), b.Flip()).Flip() }
+
+// Xor returns a literal computing a XOR b.
+func (g *AIG) Xor(a, b Lit) Lit {
+	// a^b = ~(~(a&~b) & ~(~a&b))
+	t1 := g.And(a, b.Flip())
+	t2 := g.And(a.Flip(), b)
+	return g.Or(t1, t2)
+}
+
+// Mux returns a literal computing sel ? d1 : d0.
+func (g *AIG) Mux(sel, d0, d1 Lit) Lit {
+	t1 := g.And(sel, d1)
+	t0 := g.And(sel.Flip(), d0)
+	return g.Or(t0, t1)
+}
+
+// Eval computes the value of every node under the given PI assignment
+// (pis[i] is the value of PI i) and returns the node value slice.
+func (g *AIG) Eval(pis []bool) []bool {
+	if len(pis) != g.numPIs {
+		panic("aig: wrong PI count")
+	}
+	vals := make([]bool, len(g.nodes))
+	for i, v := range pis {
+		vals[i+1] = v
+	}
+	litVal := func(l Lit) bool { return vals[l.Node()] != l.Neg() }
+	for n := int32(g.numPIs) + 1; n < int32(len(g.nodes)); n++ {
+		vals[n] = litVal(g.nodes[n].a) && litVal(g.nodes[n].b)
+	}
+	return vals
+}
+
+// LitValue reads a literal's value from an Eval result.
+func LitValue(vals []bool, l Lit) bool { return vals[l.Node()] != l.Neg() }
+
+// Levels returns the level of every node (PIs and constant at 0).
+func (g *AIG) Levels() []int32 {
+	lv := make([]int32, len(g.nodes))
+	for n := int32(g.numPIs) + 1; n < int32(len(g.nodes)); n++ {
+		la := lv[g.nodes[n].a.Node()]
+		lb := lv[g.nodes[n].b.Node()]
+		m := la
+		if lb > m {
+			m = lb
+		}
+		lv[n] = m + 1
+	}
+	return lv
+}
+
+// FromNetlist lowers the combinational core of a netlist (after the
+// flip-flop cut) into an AIG. The returned map gives the literal of
+// every net that is a combinational input or a gate output.
+func FromNetlist(nl *netlist.Netlist) (*AIG, map[netlist.NetID]Lit, error) {
+	lev, err := nl.Levelize()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// PIs: all combinational inputs except the two constants.
+	combIns := nl.CombInputs()
+	pis := combIns[:0:0]
+	for _, id := range combIns {
+		if id != netlist.ConstZero && id != netlist.ConstOne {
+			pis = append(pis, id)
+		}
+	}
+	g := New(len(pis))
+	lits := make(map[netlist.NetID]Lit, nl.NumNets())
+	lits[netlist.ConstZero] = LitFalse
+	lits[netlist.ConstOne] = LitTrue
+	for i, id := range pis {
+		lits[id] = g.PI(i)
+	}
+
+	for _, gi := range lev.Order {
+		gate := &nl.Gates[gi]
+		in := gate.Inputs()
+		get := func(i int) (Lit, error) {
+			l, ok := lits[in[i]]
+			if !ok {
+				return 0, fmt.Errorf("aig: gate reads unmapped net %s", nl.NameOf(in[i]))
+			}
+			return l, nil
+		}
+		a, err := get(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out Lit
+		switch gate.Kind {
+		case netlist.Buf:
+			out = a
+		case netlist.Not:
+			out = a.Flip()
+		default:
+			b, err := get(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			switch gate.Kind {
+			case netlist.And:
+				out = g.And(a, b)
+			case netlist.Or:
+				out = g.Or(a, b)
+			case netlist.Xor:
+				out = g.Xor(a, b)
+			case netlist.Nand:
+				out = g.And(a, b).Flip()
+			case netlist.Nor:
+				out = g.Or(a, b).Flip()
+			case netlist.Xnor:
+				out = g.Xor(a, b).Flip()
+			case netlist.Mux:
+				c, err := get(2)
+				if err != nil {
+					return nil, nil, err
+				}
+				out = g.Mux(a, b, c)
+			default:
+				return nil, nil, fmt.Errorf("aig: unsupported gate kind %s", gate.Kind)
+			}
+		}
+		lits[gate.Out] = out
+	}
+	return g, lits, nil
+}

@@ -1,0 +1,198 @@
+package aig
+
+import (
+	"testing"
+	"testing/quick"
+
+	"c2nn/internal/netlist"
+	"c2nn/internal/synth"
+)
+
+func TestLitEncoding(t *testing.T) {
+	l := MakeLit(5, true)
+	if l.Node() != 5 || !l.Neg() {
+		t.Fatalf("lit = %d", l)
+	}
+	if l.Flip().Neg() || l.Flip().Node() != 5 {
+		t.Fatal("Flip broken")
+	}
+	if l.FlipIf(false) != l || l.FlipIf(true) != l.Flip() {
+		t.Fatal("FlipIf broken")
+	}
+	if LitTrue != LitFalse.Flip() {
+		t.Fatal("constants broken")
+	}
+}
+
+func TestAndFolding(t *testing.T) {
+	g := New(2)
+	a, b := g.PI(0), g.PI(1)
+	if g.And(a, LitFalse) != LitFalse || g.And(LitFalse, b) != LitFalse {
+		t.Error("AND with false must fold")
+	}
+	if g.And(a, LitTrue) != a || g.And(LitTrue, b) != b {
+		t.Error("AND with true must fold")
+	}
+	if g.And(a, a) != a {
+		t.Error("AND idempotence must fold")
+	}
+	if g.And(a, a.Flip()) != LitFalse {
+		t.Error("AND with complement must fold to false")
+	}
+	if g.NumAnds() != 0 {
+		t.Errorf("folds created %d nodes", g.NumAnds())
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	g := New(2)
+	a, b := g.PI(0), g.PI(1)
+	x := g.And(a, b)
+	y := g.And(b, a)
+	if x != y {
+		t.Error("commutative duplicates not hashed")
+	}
+	if g.NumAnds() != 1 {
+		t.Errorf("ands = %d", g.NumAnds())
+	}
+}
+
+func TestGateFunctions(t *testing.T) {
+	g := New(3)
+	a, b, s := g.PI(0), g.PI(1), g.PI(2)
+	or := g.Or(a, b)
+	xor := g.Xor(a, b)
+	mux := g.Mux(s, a, b)
+	for p := 0; p < 8; p++ {
+		pis := []bool{p&1 == 1, p>>1&1 == 1, p>>2&1 == 1}
+		vals := g.Eval(pis)
+		if LitValue(vals, or) != (pis[0] || pis[1]) {
+			t.Fatalf("or(%v)", pis)
+		}
+		if LitValue(vals, xor) != (pis[0] != pis[1]) {
+			t.Fatalf("xor(%v)", pis)
+		}
+		want := pis[0]
+		if pis[2] {
+			want = pis[1]
+		}
+		if LitValue(vals, mux) != want {
+			t.Fatalf("mux(%v)", pis)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := New(2)
+	a, b := g.PI(0), g.PI(1)
+	x := g.And(a, b)
+	y := g.And(x, a.Flip())
+	lv := g.Levels()
+	if lv[a.Node()] != 0 || lv[x.Node()] != 1 || lv[y.Node()] != 2 {
+		t.Fatalf("levels: %v", lv)
+	}
+}
+
+// Property: the AIG lowered from an elaborated netlist computes the same
+// function as the netlist.
+func TestFromNetlistEquivalence(t *testing.T) {
+	nl, err := synth.ElaborateSource("f", map[string]string{"f.v": `
+module f(input [7:0] a, b, output [7:0] y, output p);
+  assign y = (a + b) ^ (a & ~b);
+  assign p = ^(a | b);
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, lits, err := FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumAnds() == 0 {
+		t.Fatal("empty AIG")
+	}
+
+	// Build PI assignment helper: PIs are the comb inputs minus consts,
+	// in CombInputs order.
+	var piNets []netlist.NetID
+	for _, id := range nl.CombInputs() {
+		if id != netlist.ConstZero && id != netlist.ConstOne {
+			piNets = append(piNets, id)
+		}
+	}
+
+	lev, err := nl.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := func(a, b uint8) bool {
+		// Netlist reference evaluation.
+		vals := make([]bool, nl.NumNets())
+		vals[netlist.ConstOne] = true
+		for i, bit := range nl.FindInput("a").Bits {
+			vals[bit] = a>>uint(i)&1 == 1
+		}
+		for i, bit := range nl.FindInput("b").Bits {
+			vals[bit] = b>>uint(i)&1 == 1
+		}
+		var in [3]bool
+		for _, gi := range lev.Order {
+			gate := &nl.Gates[gi]
+			for k, id := range gate.Inputs() {
+				in[k] = vals[id]
+			}
+			vals[gate.Out] = gate.Kind.Eval(in[:gate.Kind.Arity()])
+		}
+		// AIG evaluation with the same PI values.
+		pis := make([]bool, len(piNets))
+		for i, id := range piNets {
+			pis[i] = vals[id]
+		}
+		avals := g.Eval(pis)
+		for _, out := range nl.CombOutputs() {
+			lit, ok := lits[out]
+			if !ok {
+				t.Fatalf("no literal for output net %d", out)
+			}
+			if LitValue(avals, lit) != vals[out] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromNetlistWithFFs(t *testing.T) {
+	nl, err := synth.ElaborateSource("c", map[string]string{"c.v": `
+module c(input clk, input d, output reg q);
+  always @(posedge clk) q <= ~q ^ d;
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, lits, err := FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q is a pseudo-input (PI), D a pseudo-output with a literal.
+	if g.NumPIs() != 3 { // clk, d, q
+		t.Fatalf("PIs = %d", g.NumPIs())
+	}
+	d := nl.FFs[0].D
+	if _, ok := lits[d]; !ok {
+		t.Fatal("no literal for FF D pin")
+	}
+}
+
+func TestPIOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(2).PI(5)
+}

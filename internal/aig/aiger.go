@@ -1,0 +1,229 @@
+package aig
+
+// AIGER format support (Biere's AIGER 1.9 subset: combinational, no
+// latches): the interchange format of the ABC/AIGER ecosystem, so AIGs
+// extracted here can be checked with external tools and vice versa.
+// Both the ASCII ("aag") and binary ("aig") encodings are implemented.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteAAG emits the AIG in ASCII AIGER format with the given output
+// literals.
+func (g *AIG) WriteAAG(w io.Writer, outputs []Lit) error {
+	bw := bufio.NewWriter(w)
+	maxVar := g.NumNodes() - 1
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", maxVar, g.numPIs, len(outputs), g.NumAnds())
+	for i := 0; i < g.numPIs; i++ {
+		fmt.Fprintf(bw, "%d\n", int32(g.PI(i)))
+	}
+	for _, o := range outputs {
+		fmt.Fprintf(bw, "%d\n", int32(o))
+	}
+	for n := int32(g.numPIs) + 1; n < int32(g.NumNodes()); n++ {
+		a, b := g.Fanins(n)
+		// AIGER wants lhs > rhs0 >= rhs1.
+		r0, r1 := a, b
+		if r0 < r1 {
+			r0, r1 = r1, r0
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", int32(MakeLit(n, false)), int32(r0), int32(r1))
+	}
+	return bw.Flush()
+}
+
+// WriteAIGBinary emits the AIG in binary AIGER format.
+func (g *AIG) WriteAIGBinary(w io.Writer, outputs []Lit) error {
+	bw := bufio.NewWriter(w)
+	maxVar := g.NumNodes() - 1
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", maxVar, g.numPIs, len(outputs), g.NumAnds())
+	for _, o := range outputs {
+		fmt.Fprintf(bw, "%d\n", int32(o))
+	}
+	for n := int32(g.numPIs) + 1; n < int32(g.NumNodes()); n++ {
+		a, b := g.Fanins(n)
+		r0, r1 := a, b
+		if r0 < r1 {
+			r0, r1 = r1, r0
+		}
+		lhs := MakeLit(n, false)
+		if err := writeLEB(bw, uint32(lhs-r0)); err != nil {
+			return err
+		}
+		if err := writeLEB(bw, uint32(r0-r1)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeLEB(w io.ByteWriter, v uint32) error {
+	for v >= 0x80 {
+		if err := w.WriteByte(byte(v&0x7f | 0x80)); err != nil {
+			return err
+		}
+		v >>= 7
+	}
+	return w.WriteByte(byte(v))
+}
+
+func readLEB(r io.ByteReader) (uint32, error) {
+	var v uint32
+	var shift uint
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, fmt.Errorf("aig: LEB128 literal too large")
+		}
+	}
+}
+
+// ReadAIGER parses either AIGER encoding and returns the graph plus its
+// output literals. Latches are rejected (the pipeline's flip-flop cut
+// happens before AIG extraction).
+func ReadAIGER(r io.Reader) (*AIG, []Lit, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("aig: reading header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(header))
+	if len(fields) < 6 || (fields[0] != "aag" && fields[0] != "aig") {
+		return nil, nil, fmt.Errorf("aig: not an AIGER file (header %q)", strings.TrimSpace(header))
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil || v < 0 {
+			return nil, nil, fmt.Errorf("aig: bad header field %q", fields[i+1])
+		}
+		nums[i] = v
+	}
+	maxVar, numIn, numLatch, numOut, numAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if numLatch != 0 {
+		return nil, nil, fmt.Errorf("aig: latches are not supported (%d declared)", numLatch)
+	}
+	if maxVar != numIn+numAnd {
+		return nil, nil, fmt.Errorf("aig: header M=%d inconsistent with I+A=%d", maxVar, numIn+numAnd)
+	}
+
+	g := New(numIn)
+	binary := fields[0] == "aig"
+
+	readLine := func() (string, error) {
+		s, err := br.ReadString('\n')
+		if err != nil && (err != io.EOF || s == "") {
+			return "", err
+		}
+		return strings.TrimSpace(s), nil
+	}
+	parseLit := func(s string) (Lit, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 || v > 2*maxVar+1 {
+			return 0, fmt.Errorf("aig: bad literal %q", s)
+		}
+		return Lit(v), nil
+	}
+
+	if !binary {
+		// Input literal lines: must be 2,4,6,... in order.
+		for i := 0; i < numIn; i++ {
+			line, err := readLine()
+			if err != nil {
+				return nil, nil, err
+			}
+			lit, err := parseLit(line)
+			if err != nil {
+				return nil, nil, err
+			}
+			if lit != g.PI(i) {
+				return nil, nil, fmt.Errorf("aig: input %d has literal %d, expected %d", i, lit, g.PI(i))
+			}
+		}
+	}
+
+	outputs := make([]Lit, numOut)
+	for i := range outputs {
+		line, err := readLine()
+		if err != nil {
+			return nil, nil, err
+		}
+		outputs[i], err = parseLit(line)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// AND definitions. The reader rebuilds through the hashing And()
+	// constructor, which may fold redundant nodes; literal values are
+	// preserved through a translation table.
+	xlat := make([]Lit, maxVar+1)
+	xlat[0] = LitFalse
+	for i := 0; i < numIn; i++ {
+		xlat[i+1] = g.PI(i)
+	}
+	mapLit := func(l Lit) Lit { return xlat[l.Node()].FlipIf(l.Neg()) }
+
+	for i := 0; i < numAnd; i++ {
+		var lhs, r0, r1 Lit
+		if binary {
+			d0, err := readLEB(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("aig: AND %d: %w", i, err)
+			}
+			d1, err := readLEB(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("aig: AND %d: %w", i, err)
+			}
+			lhs = MakeLit(int32(numIn+1+i), false)
+			r0 = lhs - Lit(d0)
+			r1 = r0 - Lit(d1)
+			if r0 < 0 || r1 < 0 {
+				return nil, nil, fmt.Errorf("aig: AND %d: negative operand", i)
+			}
+		} else {
+			line, err := readLine()
+			if err != nil {
+				return nil, nil, err
+			}
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				return nil, nil, fmt.Errorf("aig: bad AND line %q", line)
+			}
+			if lhs, err = parseLit(parts[0]); err != nil {
+				return nil, nil, err
+			}
+			if r0, err = parseLit(parts[1]); err != nil {
+				return nil, nil, err
+			}
+			if r1, err = parseLit(parts[2]); err != nil {
+				return nil, nil, err
+			}
+			if lhs.Neg() {
+				return nil, nil, fmt.Errorf("aig: AND lhs %d is complemented", lhs)
+			}
+		}
+		if int(lhs.Node()) > maxVar {
+			return nil, nil, fmt.Errorf("aig: AND lhs variable %d out of range", lhs.Node())
+		}
+		xlat[lhs.Node()] = g.And(mapLit(r0), mapLit(r1))
+	}
+
+	for i, o := range outputs {
+		outputs[i] = mapLit(o)
+	}
+	return g, outputs, nil
+}

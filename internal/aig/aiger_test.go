@@ -1,0 +1,159 @@
+package aig
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"c2nn/internal/synth"
+)
+
+// buildTestAIG lowers a small circuit for format tests.
+func buildTestAIG(t *testing.T) (*AIG, []Lit) {
+	t.Helper()
+	nl, err := synth.ElaborateSource("f", map[string]string{"f.v": `
+module f(input [5:0] a, b, output [5:0] s, output p);
+  assign s = a + b;
+  assign p = ^(a ^ b);
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, lits, err := FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs []Lit
+	for _, net := range nl.CombOutputs() {
+		outs = append(outs, lits[net])
+	}
+	return g, outs
+}
+
+func evalOutputs(g *AIG, outs []Lit, pis []bool) []bool {
+	vals := g.Eval(pis)
+	res := make([]bool, len(outs))
+	for i, o := range outs {
+		res[i] = LitValue(vals, o)
+	}
+	return res
+}
+
+func roundTripFormat(t *testing.T, binary bool) {
+	g, outs := buildTestAIG(t)
+	var buf bytes.Buffer
+	var err error
+	if binary {
+		err = g.WriteAIGBinary(&buf, outs)
+	} else {
+		err = g.WriteAAG(&buf, outs)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, outs2, err := ReadAIGER(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumPIs() != g.NumPIs() || len(outs2) != len(outs) {
+		t.Fatalf("shape mismatch: PIs %d/%d outs %d/%d",
+			g.NumPIs(), g2.NumPIs(), len(outs), len(outs2))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		pis := make([]bool, g.NumPIs())
+		for i := range pis {
+			pis[i] = rng.Intn(2) == 1
+		}
+		a := evalOutputs(g, outs, pis)
+		b := evalOutputs(g2, outs2, pis)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d output %d differs (binary=%v)", trial, i, binary)
+			}
+		}
+	}
+}
+
+func TestAAGRoundTrip(t *testing.T)    { roundTripFormat(t, false) }
+func TestBinaryRoundTrip(t *testing.T) { roundTripFormat(t, true) }
+
+func TestAAGHeaderShape(t *testing.T) {
+	g, outs := buildTestAIG(t)
+	var buf bytes.Buffer
+	if err := g.WriteAAG(&buf, outs); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasPrefix(header, "aag ") {
+		t.Fatalf("header = %q", header)
+	}
+	var m, i, l, o, a int
+	if _, err := fmtSscanf(header, &m, &i, &l, &o, &a); err != nil {
+		t.Fatal(err)
+	}
+	if i != g.NumPIs() || l != 0 || o != len(outs) || a != g.NumAnds() || m != i+a {
+		t.Fatalf("header fields: M=%d I=%d L=%d O=%d A=%d", m, i, l, o, a)
+	}
+}
+
+func fmtSscanf(header string, m, i, l, o, a *int) (int, error) {
+	fields := strings.Fields(header)
+	vals := []*int{m, i, l, o, a}
+	for k := 0; k < 5; k++ {
+		var err error
+		*vals[k], err = atoi(fields[k+1])
+		if err != nil {
+			return k, err
+		}
+	}
+	return 5, nil
+}
+
+func atoi(s string) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errBadDigit
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+var errBadDigit = errors.New("bad digit")
+
+func TestReadAIGERRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not an aiger\n",
+		"aag 5 2 1 1 2\n", // latches unsupported
+		"aag 5 2 0 1 5\n", // inconsistent M
+	}
+	for _, src := range cases {
+		if _, _, err := ReadAIGER(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestLEBRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	vals := []uint32{0, 1, 127, 128, 300, 1 << 20, 1<<28 - 1}
+	for _, v := range vals {
+		buf.Reset()
+		bw := bytes.NewBuffer(nil)
+		if err := writeLEB(bw, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readLEB(bytes.NewReader(bw.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("LEB %d -> %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package circuits
+
+import "strings"
+
+func init() {
+	register(Circuit{
+		Name:        "DMA",
+		Top:         "dma",
+		Generate:    generateDMA,
+		Description: "16-channel, 32-bit DMA engine: per-channel src/dst/len registers, round-robin arbitration, synchronous-read memory port",
+	})
+}
+
+// generateDMA emits a sixteen-channel word-copy DMA engine. Each
+// channel has 32-bit source, destination and length registers over a
+// small configuration bus; a central engine arbitrates round-robin and
+// moves one word per two cycles over a shared synchronous-read memory
+// port (address sampled on the clock edge, data valid the next cycle).
+func generateDMA() map[string]string {
+	var b strings.Builder
+	b.WriteString(`// dma: sixteen-channel 32-bit word-copy DMA engine.
+module dma (
+    input  wire        clk,
+    input  wire        rst,
+    // Configuration bus: reg 0 = src, 1 = dst, 2 = len, 3 = ctrl.
+    input  wire [3:0]  cfg_chan,
+    input  wire [1:0]  cfg_reg,
+    input  wire        cfg_wen,
+    input  wire [31:0] cfg_wdata,
+    // Shared memory port (synchronous read).
+    output wire [31:0] mem_raddr,
+    output wire        mem_ren,
+    input  wire [31:0] mem_rdata,
+    output wire [31:0] mem_waddr,
+    output wire [31:0] mem_wdata,
+    output wire        mem_wen,
+    // Status.
+    output wire [15:0] active,
+    output reg  [15:0] done_flags
+);
+  localparam IDLE = 1'd0, WR = 1'd1;
+  reg        state;
+  reg [3:0]  grant;
+
+  wire [511:0] src_flat, dst_flat, len_flat;
+  wire [15:0]  act;
+
+  wire [31:0] cur_src = src_flat[grant*32 +: 32];
+  wire [31:0] cur_dst = dst_flat[grant*32 +: 32];
+  wire [31:0] cur_len = len_flat[grant*32 +: 32];
+
+  // Round-robin arbitration: next grant is the first active channel
+  // at or after the previous grant + 1.
+  reg  [3:0] next_grant;
+  reg        any_active;
+  always @* begin
+    next_grant = 4'd0;
+    any_active = 1'b0;
+    if (act[(grant + 4'd1) & 4'd15]) begin
+      next_grant = (grant + 4'd1) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd2) & 4'd15]) begin
+      next_grant = (grant + 4'd2) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd3) & 4'd15]) begin
+      next_grant = (grant + 4'd3) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd4) & 4'd15]) begin
+      next_grant = (grant + 4'd4) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd5) & 4'd15]) begin
+      next_grant = (grant + 4'd5) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd6) & 4'd15]) begin
+      next_grant = (grant + 4'd6) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd7) & 4'd15]) begin
+      next_grant = (grant + 4'd7) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd8) & 4'd15]) begin
+      next_grant = (grant + 4'd8) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd9) & 4'd15]) begin
+      next_grant = (grant + 4'd9) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd10) & 4'd15]) begin
+      next_grant = (grant + 4'd10) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd11) & 4'd15]) begin
+      next_grant = (grant + 4'd11) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd12) & 4'd15]) begin
+      next_grant = (grant + 4'd12) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd13) & 4'd15]) begin
+      next_grant = (grant + 4'd13) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd14) & 4'd15]) begin
+      next_grant = (grant + 4'd14) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[(grant + 4'd15) & 4'd15]) begin
+      next_grant = (grant + 4'd15) & 4'd15;
+      any_active = 1'b1;
+    end else if (act[grant]) begin
+      next_grant = grant;
+      any_active = 1'b1;
+    end
+  end
+
+  // Engine: in IDLE pick a channel and issue the read; in WR the read
+  // data is valid, write it out and advance the channel.
+  wire issue = (state == IDLE) && any_active;
+  wire beat  = (state == WR);
+  wire last  = beat && (cur_len == 32'd1);
+
+  assign mem_ren   = issue;
+  assign mem_raddr = issue ? src_flat[next_grant*32 +: 32] : 32'd0;
+  assign mem_wen   = beat;
+  assign mem_waddr = cur_dst;
+  assign mem_wdata = mem_rdata;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      grant <= 4'd0;
+    end else begin
+      case (state)
+        IDLE: begin
+          if (any_active) begin
+            grant <= next_grant;
+            state <= WR;
+          end
+        end
+        WR: state <= IDLE;
+      endcase
+    end
+  end
+
+  genvar ch;
+  generate
+    for (ch = 0; ch < 16; ch = ch + 1) begin : chan
+      reg [31:0] src_r, dst_r, len_r;
+      reg        act_r;
+
+      wire cfg_hit = cfg_wen && (cfg_chan == ch);
+      wire advance = beat && (grant == ch);
+
+      always @(posedge clk) begin
+        if (rst) begin
+          src_r <= 32'd0;
+          dst_r <= 32'd0;
+          len_r <= 32'd0;
+          act_r <= 1'b0;
+        end else begin
+          if (cfg_hit && cfg_reg == 2'd0) src_r <= cfg_wdata;
+          else if (advance) src_r <= src_r + 32'd1;
+          if (cfg_hit && cfg_reg == 2'd1) dst_r <= cfg_wdata;
+          else if (advance) dst_r <= dst_r + 32'd1;
+          if (cfg_hit && cfg_reg == 2'd2) len_r <= cfg_wdata;
+          else if (advance) len_r <= len_r - 32'd1;
+          if (cfg_hit && cfg_reg == 2'd3) act_r <= cfg_wdata[0] && (len_r != 32'd0);
+          else if (advance && len_r == 32'd1) act_r <= 1'b0;
+        end
+      end
+
+      assign src_flat[ch*32 +: 32] = src_r;
+      assign dst_flat[ch*32 +: 32] = dst_r;
+      assign len_flat[ch*32 +: 32] = len_r;
+      assign act[ch] = act_r;
+    end
+  endgenerate
+
+  assign active = act;
+
+  always @(posedge clk) begin
+    if (rst) done_flags <= 16'd0;
+    else begin
+      if (last) done_flags[grant] <= 1'b1;
+      if (cfg_wen && cfg_reg == 2'd3 && cfg_wdata[0]) done_flags[cfg_chan] <= 1'b0;
+    end
+  end
+endmodule
+`)
+	return map[string]string{"dma.v": b.String()}
+}

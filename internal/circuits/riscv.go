@@ -1,0 +1,196 @@
+package circuits
+
+import "strings"
+
+func init() {
+	register(Circuit{
+		Name:        "RISC-V interface",
+		Top:         "riscv_iface",
+		Generate:    generateRISCV,
+		Description: "single-cycle RV32I integer datapath: decoder, 32x32 register file, ALU, branch unit, load/store port",
+	})
+}
+
+// generateRISCV emits a single-cycle RV32I integer datapath: instruction
+// decode, a 32x32 register file (x0 hardwired to zero), the full integer
+// ALU, branch/jump resolution and a byte-enable load/store port. It is
+// the "ad-hoc processor designed to interface with a RISC-V core" class
+// of design from Table I.
+func generateRISCV() map[string]string {
+	var b strings.Builder
+	b.WriteString(`// riscv_iface: single-cycle RV32I integer datapath.
+module riscv_iface (
+    input  wire        clk,
+    input  wire        rst,
+    // Instruction fetch port (combinational ROM).
+    output wire [31:0] pc,
+    input  wire [31:0] instr,
+    // Data port (combinational read, byte-enable write).
+    output wire [31:0] dmem_addr,
+    output wire [31:0] dmem_wdata,
+    output wire [3:0]  dmem_we,
+    input  wire [31:0] dmem_rdata,
+    // Debug register probe.
+    input  wire [4:0]  dbg_rs,
+    output wire [31:0] dbg_val
+);
+  reg [31:0] pc_r;
+  assign pc = pc_r;
+
+  // --- Decode ---------------------------------------------------------
+  wire [6:0] opcode = instr[6:0];
+  wire [4:0] rd     = instr[11:7];
+  wire [2:0] funct3 = instr[14:12];
+  wire [4:0] rs1    = instr[19:15];
+  wire [4:0] rs2    = instr[24:20];
+  wire [6:0] funct7 = instr[31:25];
+
+  wire [31:0] imm_i = {{20{instr[31]}}, instr[31:20]};
+  wire [31:0] imm_s = {{20{instr[31]}}, instr[31:25], instr[11:7]};
+  wire [31:0] imm_b = {{19{instr[31]}}, instr[31], instr[7], instr[30:25], instr[11:8], 1'b0};
+  wire [31:0] imm_u = {instr[31:12], 12'd0};
+  wire [31:0] imm_j = {{11{instr[31]}}, instr[31], instr[19:12], instr[20], instr[30:21], 1'b0};
+
+  localparam OP_LUI    = 7'b0110111;
+  localparam OP_AUIPC  = 7'b0010111;
+  localparam OP_JAL    = 7'b1101111;
+  localparam OP_JALR   = 7'b1100111;
+  localparam OP_BRANCH = 7'b1100011;
+  localparam OP_LOAD   = 7'b0000011;
+  localparam OP_STORE  = 7'b0100011;
+  localparam OP_IMM    = 7'b0010011;
+  localparam OP_OP     = 7'b0110011;
+
+  // --- Register file: 32 x 32, x0 = 0 ---------------------------------
+  wire [1023:0] rf_flat;
+  wire [31:0]   rs1_val = (rs1 == 5'd0) ? 32'd0 : rf_flat[rs1*32 +: 32];
+  wire [31:0]   rs2_val = (rs2 == 5'd0) ? 32'd0 : rf_flat[rs2*32 +: 32];
+  assign dbg_val = (dbg_rs == 5'd0) ? 32'd0 : rf_flat[dbg_rs*32 +: 32];
+
+  wire        rf_we;
+  wire [31:0] rf_wdata;
+
+  genvar i;
+  generate
+    for (i = 1; i < 32; i = i + 1) begin : rf
+      reg [31:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 32'd0;
+        else if (rf_we && rd == i) r <= rf_wdata;
+      end
+      assign rf_flat[i*32 +: 32] = r;
+    end
+  endgenerate
+  assign rf_flat[31:0] = 32'd0; // x0
+
+  // --- ALU -------------------------------------------------------------
+  wire is_imm = opcode == OP_IMM;
+  wire is_op  = opcode == OP_OP;
+  wire [31:0] alu_b = is_imm ? imm_i : rs2_val;
+  wire [4:0]  shamt = is_imm ? instr[24:20] : rs2_val[4:0];
+  wire        sub_en = is_op && funct7[5];
+  wire        sra_en = funct7[5];
+
+  wire signed [31:0] s1 = rs1_val;
+  wire signed [31:0] s2 = rs2_val;
+  wire signed [31:0] sb = alu_b;
+
+  reg [31:0] alu_out;
+  always @* begin
+    case (funct3)
+      3'b000: alu_out = sub_en ? (rs1_val - alu_b) : (rs1_val + alu_b);
+      3'b001: alu_out = rs1_val << shamt;
+      3'b010: alu_out = (s1 < sb) ? 32'd1 : 32'd0;       // SLT
+      3'b011: alu_out = (rs1_val < alu_b) ? 32'd1 : 32'd0; // SLTU
+      3'b100: alu_out = rs1_val ^ alu_b;
+      3'b101: alu_out = sra_en ? (s1 >>> shamt) : (rs1_val >> shamt);
+      3'b110: alu_out = rs1_val | alu_b;
+      default: alu_out = rs1_val & alu_b;
+    endcase
+  end
+
+  // --- Branch resolution -----------------------------------------------
+  reg take;
+  always @* begin
+    case (funct3)
+      3'b000: take = rs1_val == rs2_val;                  // BEQ
+      3'b001: take = rs1_val != rs2_val;                  // BNE
+      3'b100: take = s1 < s2;                             // BLT
+      3'b101: take = !(s1 < s2);                          // BGE
+      3'b110: take = rs1_val < rs2_val;                   // BLTU
+      default: take = !(rs1_val < rs2_val);               // BGEU
+    endcase
+  end
+
+  // --- Load/store ------------------------------------------------------
+  wire is_load  = opcode == OP_LOAD;
+  wire is_store = opcode == OP_STORE;
+  wire [31:0] ls_addr = rs1_val + (is_store ? imm_s : imm_i);
+  assign dmem_addr = {ls_addr[31:2], 2'b00};
+
+  wire [1:0] byte_off = ls_addr[1:0];
+  wire [4:0] shift_bits = {byte_off, 3'b000};
+
+  // Store data and byte enables.
+  reg [3:0]  we_r;
+  reg [31:0] wdata_r;
+  always @* begin
+    we_r = 4'd0;
+    wdata_r = 32'd0;
+    if (is_store) begin
+      case (funct3)
+        3'b000: begin we_r = 4'b0001 << byte_off; wdata_r = {4{rs2_val[7:0]}}; end
+        3'b001: begin we_r = byte_off[1] ? 4'b1100 : 4'b0011; wdata_r = {2{rs2_val[15:0]}}; end
+        default: begin we_r = 4'b1111; wdata_r = rs2_val; end
+      endcase
+    end
+  end
+  assign dmem_we    = we_r;
+  assign dmem_wdata = wdata_r;
+
+  // Load data extraction.
+  wire [31:0] raw = dmem_rdata >> shift_bits;
+  reg [31:0] load_val;
+  always @* begin
+    case (funct3)
+      3'b000: load_val = {{24{raw[7]}}, raw[7:0]};     // LB
+      3'b001: load_val = {{16{raw[15]}}, raw[15:0]};   // LH
+      3'b100: load_val = {24'd0, raw[7:0]};            // LBU
+      3'b101: load_val = {16'd0, raw[15:0]};           // LHU
+      default: load_val = dmem_rdata;                  // LW
+    endcase
+  end
+
+  // --- Writeback and PC ------------------------------------------------
+  wire [31:0] pc_plus4 = pc_r + 32'd4;
+  reg [31:0] wb;
+  reg        wb_en;
+  reg [31:0] next_pc;
+  always @* begin
+    wb = alu_out;
+    wb_en = 1'b0;
+    next_pc = pc_plus4;
+    case (opcode)
+      OP_LUI:    begin wb = imm_u; wb_en = 1'b1; end
+      OP_AUIPC:  begin wb = pc_r + imm_u; wb_en = 1'b1; end
+      OP_JAL:    begin wb = pc_plus4; wb_en = 1'b1; next_pc = pc_r + imm_j; end
+      OP_JALR:   begin wb = pc_plus4; wb_en = 1'b1; next_pc = {(rs1_val + imm_i) >> 1, 1'b0}; end
+      OP_BRANCH: begin if (take) next_pc = pc_r + imm_b; end
+      OP_LOAD:   begin wb = load_val; wb_en = 1'b1; end
+      OP_STORE:  begin end
+      OP_IMM:    begin wb_en = 1'b1; end
+      OP_OP:     begin wb_en = 1'b1; end
+      default:   begin end
+    endcase
+  end
+  assign rf_we    = wb_en && (rd != 5'd0);
+  assign rf_wdata = wb;
+
+  always @(posedge clk) begin
+    if (rst) pc_r <= 32'd0;
+    else pc_r <= next_pc;
+  end
+endmodule
+`)
+	return map[string]string{"riscv_iface.v": b.String()}
+}

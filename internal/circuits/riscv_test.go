@@ -1,0 +1,326 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"c2nn/internal/gatesim"
+)
+
+// rvModel is the Go reference implementation of the RV32I subset.
+type rvModel struct {
+	regs [32]uint32
+	pc   uint32
+	mem  map[uint32]uint32 // word-indexed
+}
+
+func (m *rvModel) load(addr uint32) uint32 { return m.mem[addr>>2] }
+
+func (m *rvModel) step(ir uint32) {
+	op := ir & 0x7f
+	rd := ir >> 7 & 0x1f
+	f3 := ir >> 12 & 0x7
+	rs1 := ir >> 15 & 0x1f
+	rs2 := ir >> 20 & 0x1f
+	f7 := ir >> 25
+
+	immI := uint32(int32(ir) >> 20)
+	immS := uint32(int32(ir)>>25<<5) | (ir >> 7 & 0x1f)
+	immB := uint32(int32(ir)>>31<<12) | (ir << 4 & 0x800) | (ir >> 20 & 0x7e0) | (ir >> 7 & 0x1e)
+	immU := ir & 0xfffff000
+	immJ := uint32(int32(ir)>>31<<20) | (ir & 0xff000) | (ir >> 9 & 0x800) | (ir >> 20 & 0x7fe)
+
+	r1, r2 := m.regs[rs1], m.regs[rs2]
+	next := m.pc + 4
+	var wb uint32
+	wbEn := false
+
+	alu := func(b uint32, isOp bool) uint32 {
+		sh := b & 31
+		if isOp {
+			sh = r2 & 31
+		}
+		switch f3 {
+		case 0:
+			if isOp && f7&0x20 != 0 {
+				return r1 - b
+			}
+			return r1 + b
+		case 1:
+			return r1 << sh
+		case 2:
+			if int32(r1) < int32(b) {
+				return 1
+			}
+			return 0
+		case 3:
+			if r1 < b {
+				return 1
+			}
+			return 0
+		case 4:
+			return r1 ^ b
+		case 5:
+			if f7&0x20 != 0 {
+				return uint32(int32(r1) >> sh)
+			}
+			return r1 >> sh
+		case 6:
+			return r1 | b
+		default:
+			return r1 & b
+		}
+	}
+
+	switch op {
+	case 0x37: // LUI
+		wb, wbEn = immU, true
+	case 0x17: // AUIPC
+		wb, wbEn = m.pc+immU, true
+	case 0x6f: // JAL
+		wb, wbEn = m.pc+4, true
+		next = m.pc + immJ
+	case 0x67: // JALR
+		wb, wbEn = m.pc+4, true
+		next = (r1 + immI) &^ 1
+	case 0x63: // branches
+		take := false
+		switch f3 {
+		case 0:
+			take = r1 == r2
+		case 1:
+			take = r1 != r2
+		case 4:
+			take = int32(r1) < int32(r2)
+		case 5:
+			take = int32(r1) >= int32(r2)
+		case 6:
+			take = r1 < r2
+		default:
+			take = r1 >= r2
+		}
+		if take {
+			next = m.pc + immB
+		}
+	case 0x03: // loads
+		addr := r1 + immI
+		raw := m.load(addr) >> ((addr & 3) * 8)
+		switch f3 {
+		case 0:
+			wb = uint32(int32(int8(raw)))
+		case 1:
+			wb = uint32(int32(int16(raw)))
+		case 4:
+			wb = raw & 0xff
+		case 5:
+			wb = raw & 0xffff
+		default:
+			wb = m.load(addr)
+		}
+		wbEn = true
+	case 0x23: // stores
+		addr := r1 + immS
+		word := addr >> 2
+		off := (addr & 3) * 8
+		cur := m.mem[word]
+		switch f3 {
+		case 0:
+			mask := uint32(0xff) << off
+			m.mem[word] = cur&^mask | (r2&0xff)<<off
+		case 1:
+			mask := uint32(0xffff) << off
+			m.mem[word] = cur&^mask | (r2&0xffff)<<off
+		default:
+			m.mem[word] = r2
+		}
+	case 0x13: // OP-IMM
+		wb, wbEn = alu(immI, false), true
+	case 0x33: // OP
+		wb, wbEn = alu(r2, true), true
+	}
+	if wbEn && rd != 0 {
+		m.regs[rd] = wb
+	}
+	m.pc = next
+}
+
+// Instruction encoders.
+func encR(f7, rs2, rs1, f3, rd, op uint32) uint32 {
+	return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+func encI(imm, rs1, f3, rd, op uint32) uint32 {
+	return imm<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+func encS(imm, rs2, rs1, f3 uint32) uint32 {
+	return imm>>5<<25 | rs2<<20 | rs1<<15 | f3<<12 | (imm&0x1f)<<7 | 0x23
+}
+func encB(imm, rs2, rs1, f3 uint32) uint32 {
+	return (imm>>12&1)<<31 | (imm>>5&0x3f)<<25 | rs2<<20 | rs1<<15 |
+		f3<<12 | (imm>>1&0xf)<<8 | (imm>>11&1)<<7 | 0x63
+}
+func encU(imm20, rd, op uint32) uint32 { return imm20<<12 | rd<<7 | op }
+func encJ(imm, rd uint32) uint32 {
+	return (imm>>20&1)<<31 | (imm>>1&0x3ff)<<21 | (imm>>11&1)<<20 | (imm>>12&0xff)<<12 | rd<<7 | 0x6f
+}
+
+// randomProgram emits a mostly-straight-line RV32I program exercising
+// every supported instruction class, ending in a tight self-loop.
+func randomProgram(rng *rand.Rand, n int) []uint32 {
+	var prog []uint32
+	reg := func() uint32 { return uint32(1 + rng.Intn(15)) }
+	// Establish a data base pointer in x15.
+	prog = append(prog, encU(0x1, 15, 0x37)) // LUI x15, 0x1 -> 0x1000
+	for len(prog) < n-2 {
+		switch rng.Intn(10) {
+		case 0: // LUI / AUIPC
+			if rng.Intn(2) == 0 {
+				prog = append(prog, encU(uint32(rng.Intn(1<<20)), reg(), 0x37))
+			} else {
+				prog = append(prog, encU(uint32(rng.Intn(1<<20)), reg(), 0x17))
+			}
+		case 1, 2: // OP-IMM
+			f3 := uint32(rng.Intn(8))
+			imm := uint32(rng.Intn(1 << 12))
+			if f3 == 1 || f3 == 5 {
+				imm = uint32(rng.Intn(32))
+				if f3 == 5 && rng.Intn(2) == 0 {
+					imm |= 0x400 // SRAI
+				}
+			}
+			prog = append(prog, encI(imm, reg(), f3, reg(), 0x13))
+		case 3, 4: // OP
+			f3 := uint32(rng.Intn(8))
+			var f7 uint32
+			if f3 == 0 && rng.Intn(2) == 0 {
+				f7 = 0x20 // SUB
+			}
+			if f3 == 5 && rng.Intn(2) == 0 {
+				f7 = 0x20 // SRA
+			}
+			prog = append(prog, encR(f7, reg(), reg(), f3, reg(), 0x33))
+		case 5: // store to the data region
+			f3 := uint32(rng.Intn(3)) // SB/SH/SW
+			off := uint32(rng.Intn(64)) * 4
+			if f3 == 1 {
+				off += uint32(rng.Intn(2)) * 2
+			}
+			if f3 == 0 {
+				off += uint32(rng.Intn(4))
+			}
+			prog = append(prog, encS(off, reg(), 15, f3))
+		case 6: // load from the data region
+			f3s := []uint32{0, 1, 2, 4, 5}
+			f3 := f3s[rng.Intn(len(f3s))]
+			off := uint32(rng.Intn(64)) * 4
+			if f3 == 1 || f3 == 5 {
+				off += uint32(rng.Intn(2)) * 2
+			}
+			if f3 == 0 || f3 == 4 {
+				off += uint32(rng.Intn(4))
+			}
+			prog = append(prog, encI(off, 15, f3, reg(), 0x03))
+		case 7: // forward branch over the next instruction
+			f3s := []uint32{0, 1, 4, 5, 6, 7}
+			prog = append(prog, encB(8, reg(), reg(), f3s[rng.Intn(len(f3s))]))
+		case 8: // JAL forward by 8 (skip one)
+			prog = append(prog, encJ(8, reg()))
+			prog = append(prog, encI(uint32(rng.Intn(1<<11)), reg(), 0, reg(), 0x13))
+		default: // plain ADDI
+			prog = append(prog, encI(uint32(rng.Intn(1<<12)), reg(), 0, reg(), 0x13))
+		}
+	}
+	for len(prog) < n-1 {
+		prog = append(prog, 0x00000013) // NOP
+	}
+	prog = append(prog, encJ(0, 0)) // self-loop halt
+	return prog
+}
+
+func TestRISCVAgainstModel(t *testing.T) {
+	c, err := ByName("RISC-V interface")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := c.Elaborate()
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	t.Logf("RISC-V: %d gates + %d FFs, %d LoC", nl.NumGates(), nl.NumFFs(), c.LinesOfCode())
+	prog, err := gatesim.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 10))
+		rom := randomProgram(rng, 60)
+		s := gatesim.NewSim(prog)
+		model := &rvModel{mem: make(map[uint32]uint32)}
+		hwMem := make(map[uint32]uint32)
+		// Pre-fill the data region identically.
+		for w := uint32(0x1000 / 4); w < 0x1000/4+64; w++ {
+			v := rng.Uint32()
+			model.mem[w] = v
+			hwMem[w] = v
+		}
+
+		s.Poke("rst", 1)
+		s.Poke("instr", 0x13)
+		s.Poke("dmem_rdata", 0)
+		s.Step()
+		s.Poke("rst", 0)
+
+		for cyc := 0; cyc < 120; cyc++ {
+			s.Eval()
+			pc, _ := s.Peek("pc")
+			if pc != uint64(model.pc) {
+				t.Fatalf("trial %d cycle %d: pc=%#x model=%#x", trial, cyc, pc, model.pc)
+			}
+			var ir uint32 = 0x13 // NOP outside ROM
+			if int(pc/4) < len(rom) {
+				ir = rom[pc/4]
+			}
+			s.Poke("instr", uint64(ir))
+			s.Eval()
+			addr, _ := s.Peek("dmem_addr")
+			s.Poke("dmem_rdata", uint64(hwMem[uint32(addr)>>2]))
+			s.Eval()
+
+			// Probe two random registers before the edge.
+			for probe := 0; probe < 2; probe++ {
+				r := rng.Intn(16)
+				s.Poke("dbg_rs", uint64(r))
+				s.Eval()
+				got, _ := s.Peek("dbg_val")
+				if got != uint64(model.regs[r]) {
+					t.Fatalf("trial %d cycle %d: x%d = %#x, model %#x (pc=%#x ir=%#x)",
+						trial, cyc, r, got, model.regs[r], pc, ir)
+				}
+			}
+
+			// Apply memory writes at the clock edge.
+			we, _ := s.Peek("dmem_we")
+			if we != 0 {
+				wdata, _ := s.Peek("dmem_wdata")
+				word := uint32(addr) >> 2
+				cur := hwMem[word]
+				for byt := 0; byt < 4; byt++ {
+					if we>>uint(byt)&1 == 1 {
+						mask := uint32(0xff) << uint(8*byt)
+						cur = cur&^mask | uint32(wdata)&mask
+					}
+				}
+				hwMem[word] = cur
+			}
+			s.Step()
+			model.step(ir)
+		}
+
+		// Final memory comparison.
+		for w, v := range model.mem {
+			if hwMem[w] != v {
+				t.Errorf("trial %d: mem[%#x] = %#x, model %#x", trial, w*4, hwMem[w], v)
+			}
+		}
+	}
+}

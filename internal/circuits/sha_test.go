@@ -1,0 +1,90 @@
+package circuits
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"c2nn/internal/gatesim"
+	"c2nn/internal/synth"
+)
+
+// padSHA256 produces the padded blocks of a message.
+func padSHA256(msg []byte) [][]byte {
+	total := len(msg)
+	padded := append([]byte{}, msg...)
+	padded = append(padded, 0x80)
+	for len(padded)%64 != 56 {
+		padded = append(padded, 0)
+	}
+	var lenBytes [8]byte
+	binary.BigEndian.PutUint64(lenBytes[:], uint64(total)*8)
+	padded = append(padded, lenBytes[:]...)
+	var blocks [][]byte
+	for i := 0; i < len(padded); i += 64 {
+		blocks = append(blocks, padded[i:i+64])
+	}
+	return blocks
+}
+
+func TestSHAAgainstStdlib(t *testing.T) {
+	for _, rounds := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("rounds=%d", rounds), func(t *testing.T) {
+			testSHARounds(t, rounds)
+		})
+	}
+}
+
+func testSHARounds(t *testing.T, rounds int) {
+	nl, err := synth.ElaborateSource("sha256", GenerateSHA(rounds))
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	t.Logf("SHA x%d: %d gates + %d FFs", rounds, nl.NumGates(), nl.NumFFs())
+	prog, err := gatesim.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gatesim.NewSim(prog)
+
+	messages := [][]byte{
+		[]byte("abc"),
+		[]byte(""),
+		[]byte("The quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte{0x5a}, 100), // two blocks
+	}
+	for _, msg := range messages {
+		want := sha256.Sum256(msg)
+
+		s.Reset()
+		s.Poke("rst", 1)
+		s.Poke("start", 0)
+		s.Step()
+		s.Poke("rst", 0)
+		for _, block := range padSHA256(msg) {
+			pokeWide(t, s, "block", block)
+			s.Poke("start", 1)
+			s.Step()
+			s.Poke("start", 0)
+			done := false
+			for cyc := 0; cyc < 80; cyc++ {
+				s.Step()
+				s.Eval()
+				if v, _ := s.Peek("done"); v == 1 {
+					done = true
+					break
+				}
+			}
+			if !done {
+				t.Fatal("SHA core never asserted done")
+			}
+		}
+		s.Eval()
+		got := peekWide(t, s, "digest")
+		if !bytes.Equal(got, want[:]) {
+			t.Fatalf("msg %q:\n got %x\nwant %x", msg, got, want)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package circuits
+
+import "strings"
+
+func init() {
+	register(Circuit{
+		Name:        "SPI",
+		Top:         "spi",
+		Generate:    generateSPI,
+		Description: "4-channel SPI master with TX/RX FIFOs and programmable divider",
+	})
+}
+
+// generateSPI emits a four-channel SPI master peripheral: each channel
+// has an 8-deep TX FIFO, an 8-deep RX FIFO and a mode-0 shift engine
+// with a programmable clock divider, behind a simple register interface.
+func generateSPI() map[string]string {
+	fifo := `// sync_fifo: synchronous FIFO built from registered slots (no
+// memory arrays: one register bank per slot, selected by pointer).
+module sync_fifo #(parameter WIDTH = 8, DEPTH = 8, AW = 3) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire             wr_en,
+    input  wire [WIDTH-1:0] wr_data,
+    input  wire             rd_en,
+    output wire [WIDTH-1:0] rd_data,
+    output wire             full,
+    output wire             empty,
+    output wire [AW:0]      count
+);
+  reg [AW:0]   cnt;
+  reg [AW-1:0] wptr, rptr;
+
+  wire do_wr = wr_en && !full;
+  wire do_rd = rd_en && !empty;
+
+  wire [WIDTH*DEPTH-1:0] mem_flat;
+  genvar i;
+  generate
+    for (i = 0; i < DEPTH; i = i + 1) begin : slot
+      reg [WIDTH-1:0] mem;
+      always @(posedge clk) begin
+        if (do_wr && wptr == i) mem <= wr_data;
+      end
+      assign mem_flat[WIDTH*i +: WIDTH] = mem;
+    end
+  endgenerate
+
+  assign rd_data = mem_flat[rptr*WIDTH +: WIDTH];
+  assign full  = cnt == DEPTH;
+  assign empty = cnt == 0;
+  assign count = cnt;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      cnt  <= 0;
+      wptr <= 0;
+      rptr <= 0;
+    end else begin
+      if (do_wr) wptr <= wptr + 1;
+      if (do_rd) rptr <= rptr + 1;
+      if (do_wr && !do_rd) cnt <= cnt + 1;
+      if (do_rd && !do_wr) cnt <= cnt - 1;
+    end
+  end
+endmodule
+`
+
+	core := `// spi_core: mode-0 SPI master shift engine. MSB first; MOSI
+// changes on the falling SCLK edge, MISO is sampled on the rising edge.
+module spi_core (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       start,
+    input  wire [7:0] tx_byte,
+    input  wire [7:0] clk_div,    // SCLK half-period in clk cycles - 1
+    output wire [7:0] rx_byte,
+    output reg        busy,
+    output reg        done,       // one-cycle strobe
+    output reg        sclk,
+    output wire       mosi,
+    output reg        cs_n,
+    input  wire       miso
+);
+  reg [7:0] sh;
+  reg [7:0] rx;
+  reg [3:0] bits;      // bits remaining
+  reg [7:0] divcnt;
+
+  assign mosi    = sh[7];
+  assign rx_byte = rx;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      busy   <= 1'b0;
+      done   <= 1'b0;
+      sclk   <= 1'b0;
+      cs_n   <= 1'b1;
+      sh     <= 8'd0;
+      rx     <= 8'd0;
+      bits   <= 4'd0;
+      divcnt <= 8'd0;
+    end else begin
+      done <= 1'b0;
+      if (start && !busy) begin
+        busy   <= 1'b1;
+        cs_n   <= 1'b0;
+        sclk   <= 1'b0;
+        sh     <= tx_byte;
+        bits   <= 4'd8;
+        divcnt <= clk_div;
+      end else if (busy) begin
+        if (divcnt == 8'd0) begin
+          divcnt <= clk_div;
+          if (!sclk) begin
+            // Rising edge: sample MISO.
+            sclk <= 1'b1;
+            rx   <= {rx[6:0], miso};
+          end else begin
+            // Falling edge: shift MOSI, count the bit.
+            sclk <= 1'b0;
+            sh   <= {sh[6:0], 1'b0};
+            if (bits == 4'd1) begin
+              busy <= 1'b0;
+              cs_n <= 1'b1;
+              done <= 1'b1;
+              bits <= 4'd0;
+            end else begin
+              bits <= bits - 4'd1;
+            end
+          end
+        end else begin
+          divcnt <= divcnt - 8'd1;
+        end
+      end
+    end
+  end
+endmodule
+`
+
+	var top strings.Builder
+	top.WriteString(`// spi: four-channel SPI master peripheral with per-channel TX/RX
+// FIFOs and a shared register interface.
+module spi (
+    input  wire       clk,
+    input  wire       rst,
+    // Register interface.
+    input  wire [1:0] wr_chan,
+    input  wire       wr_en,
+    input  wire [7:0] wr_data,
+    input  wire [1:0] rd_chan,
+    input  wire       rd_en,
+    output wire [7:0] rd_data,
+    input  wire [7:0] clk_div,
+    // Status, one bit per channel.
+    output wire [3:0] busy,
+    output wire [3:0] tx_full,
+    output wire [3:0] tx_empty,
+    output wire [3:0] rx_empty,
+    // SPI pads, one per channel.
+    output wire [3:0] sclk,
+    output wire [3:0] mosi,
+    output wire [3:0] cs_n,
+    input  wire [3:0] miso
+);
+  wire [31:0] rd_data_flat;
+  assign rd_data = rd_data_flat[rd_chan*8 +: 8];
+
+  genvar ch;
+  generate
+    for (ch = 0; ch < 4; ch = ch + 1) begin : channel
+      wire        tx_empty_w, tx_full_w, rx_full_w, rx_empty_w;
+      wire [7:0]  tx_head, rx_out, core_rx;
+      wire        core_busy, core_done;
+      reg         inflight;
+
+      wire tx_wr = wr_en && (wr_chan == ch);
+      wire rx_rd = rd_en && (rd_chan == ch);
+      wire launch = !tx_empty_w && !core_busy && !inflight;
+
+      sync_fifo #(.WIDTH(8), .DEPTH(8), .AW(3)) txf (
+        .clk(clk), .rst(rst),
+        .wr_en(tx_wr), .wr_data(wr_data),
+        .rd_en(core_done), .rd_data(tx_head),
+        .full(tx_full_w), .empty(tx_empty_w), .count()
+      );
+
+      sync_fifo #(.WIDTH(8), .DEPTH(8), .AW(3)) rxf (
+        .clk(clk), .rst(rst),
+        .wr_en(core_done), .wr_data(core_rx),
+        .rd_en(rx_rd), .rd_data(rx_out),
+        .full(rx_full_w), .empty(rx_empty_w), .count()
+      );
+
+      spi_core core (
+        .clk(clk), .rst(rst),
+        .start(launch), .tx_byte(tx_head), .clk_div(clk_div),
+        .rx_byte(core_rx), .busy(core_busy), .done(core_done),
+        .sclk(sclk[ch]), .mosi(mosi[ch]), .cs_n(cs_n[ch]), .miso(miso[ch])
+      );
+
+      // inflight guards the one-cycle gap between start and busy.
+      always @(posedge clk) begin
+        if (rst) inflight <= 1'b0;
+        else if (launch) inflight <= 1'b1;
+        else if (core_done) inflight <= 1'b0;
+      end
+
+      assign busy[ch]     = core_busy || inflight;
+      assign tx_full[ch]  = tx_full_w;
+      assign tx_empty[ch] = tx_empty_w;
+      assign rx_empty[ch] = rx_empty_w;
+      assign rd_data_flat[ch*8 +: 8] = rx_out;
+    end
+  endgenerate
+endmodule
+`)
+	return map[string]string{
+		"sync_fifo.v": fifo,
+		"spi_core.v":  core,
+		"spi.v":       top.String(),
+	}
+}

@@ -1,0 +1,261 @@
+package circuits
+
+import "strings"
+
+func init() {
+	register(Circuit{
+		Name:        "UART",
+		Top:         "uart",
+		Generate:    generateUART,
+		Description: "16550-style UART: TX/RX engines, 16-deep FIFOs, programmable divisor, optional parity",
+	})
+}
+
+// generateUART emits a 16550-style UART: transmit and receive engines
+// with 16-deep FIFOs, a programmable 16-bit baud divisor (clocks per
+// bit), optional even parity and line-status flags.
+func generateUART() map[string]string {
+	tx := `// uart_tx: 8N1 (optionally 8E1) transmit engine.
+module uart_tx (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire [15:0] divisor,   // clocks per bit
+    input  wire        parity_en,
+    input  wire        start,
+    input  wire [7:0]  data,
+    output reg         txd,
+    output reg         busy
+);
+  localparam IDLE = 2'd0, SHIFT = 2'd1;
+  reg [1:0]  state;
+  reg [15:0] baud;
+  reg [3:0]  bitno;
+  reg [10:0] frame;    // start, 8 data, [parity], stop(s)
+  reg [3:0]  nbits;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      txd   <= 1'b1;
+      busy  <= 1'b0;
+      baud  <= 16'd0;
+      bitno <= 4'd0;
+      frame <= 11'h7FF;
+      nbits <= 4'd0;
+    end else begin
+      case (state)
+        IDLE: begin
+          txd  <= 1'b1;
+          busy <= 1'b0;
+          if (start) begin
+            // LSB-first frame assembled little-end-out.
+            if (parity_en)
+              frame <= {1'b1, ^data, data, 1'b0};  // stop, parity, data, start
+            else
+              frame <= {2'b11, data, 1'b0};
+            nbits <= parity_en ? 4'd11 : 4'd10;
+            bitno <= 4'd0;
+            baud  <= divisor - 16'd1;
+            busy  <= 1'b1;
+            state <= SHIFT;
+            txd   <= 1'b0;  // start bit goes out immediately
+          end
+        end
+        SHIFT: begin
+          if (baud == 16'd0) begin
+            baud <= divisor - 16'd1;
+            if (bitno == nbits - 4'd1) begin
+              state <= IDLE;
+              busy  <= 1'b0;
+              txd   <= 1'b1;
+            end else begin
+              bitno <= bitno + 4'd1;
+              txd   <= frame[bitno + 4'd1];
+            end
+          end else begin
+            baud <= baud - 16'd1;
+          end
+        end
+        default: state <= IDLE;
+      endcase
+    end
+  end
+endmodule
+`
+
+	rx := `// uart_rx: receive engine sampling at mid-bit.
+module uart_rx (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire [15:0] divisor,
+    input  wire        parity_en,
+    input  wire        rxd,
+    output reg  [7:0]  data,
+    output reg         valid,     // one-cycle strobe
+    output reg         perr       // parity error on last frame
+);
+  localparam IDLE = 2'd0, START = 2'd1, BITS = 2'd2, STOP = 2'd3;
+  reg [1:0]  state;
+  reg [15:0] baud;
+  reg [3:0]  bitno;
+  reg [8:0]  sh;       // 8 data (+ parity)
+  reg        rxd_q;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      baud  <= 16'd0;
+      bitno <= 4'd0;
+      sh    <= 9'd0;
+      data  <= 8'd0;
+      valid <= 1'b0;
+      perr  <= 1'b0;
+      rxd_q <= 1'b1;
+    end else begin
+      valid <= 1'b0;
+      rxd_q <= rxd;
+      case (state)
+        IDLE: begin
+          if (rxd_q && !rxd) begin      // falling edge: start bit
+            state <= START;
+            baud  <= {1'b0, divisor[15:1]} - 16'd1;  // half bit
+          end
+        end
+        START: begin
+          if (baud == 16'd0) begin
+            if (!rxd) begin             // confirmed start
+              state <= BITS;
+              baud  <= divisor - 16'd1;
+              bitno <= 4'd0;
+            end else begin
+              state <= IDLE;            // glitch
+            end
+          end else begin
+            baud <= baud - 16'd1;
+          end
+        end
+        BITS: begin
+          if (baud == 16'd0) begin
+            baud <= divisor - 16'd1;
+            sh   <= {rxd, sh[8:1]};
+            if (bitno == (parity_en ? 4'd8 : 4'd7)) begin
+              state <= STOP;
+            end else begin
+              bitno <= bitno + 4'd1;
+            end
+          end else begin
+            baud <= baud - 16'd1;
+          end
+        end
+        STOP: begin
+          if (baud == 16'd0) begin
+            state <= IDLE;
+            if (parity_en) begin
+              data <= sh[7:0];
+              perr <= (^sh[7:0]) != sh[8];
+            end else begin
+              data <= sh[8:1];
+              perr <= 1'b0;
+            end
+            valid <= 1'b1;
+          end else begin
+            baud <= baud - 16'd1;
+          end
+        end
+      endcase
+    end
+  end
+endmodule
+`
+
+	var top strings.Builder
+	top.WriteString(`// uart: 16550-style UART with 16-deep TX/RX FIFOs.
+module uart (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire [15:0] divisor,
+    input  wire        parity_en,
+    // Host interface.
+    input  wire        wr_en,
+    input  wire [7:0]  wr_data,
+    input  wire        rd_en,
+    output wire [7:0]  rd_data,
+    // Serial pads.
+    output wire        txd,
+    input  wire        rxd,
+    // Line status.
+    output wire        tx_empty,
+    output wire        tx_full,
+    output wire        rx_empty,
+    output wire        rx_full,
+    output reg         overrun,
+    output reg         parity_err
+);
+  wire       tx_busy, tx_fifo_empty;
+  wire [7:0] tx_head;
+  reg        tx_inflight;
+  wire       tx_pop = tx_inflight && !tx_busy_q && tx_busy; // accepted
+  reg        tx_busy_q;
+
+  wire launch = !tx_fifo_empty && !tx_busy && !tx_inflight;
+
+  sync_fifo #(.WIDTH(8), .DEPTH(16), .AW(4)) txf (
+    .clk(clk), .rst(rst),
+    .wr_en(wr_en), .wr_data(wr_data),
+    .rd_en(tx_pop), .rd_data(tx_head),
+    .full(tx_full), .empty(tx_fifo_empty), .count()
+  );
+
+  uart_tx tx0 (
+    .clk(clk), .rst(rst), .divisor(divisor), .parity_en(parity_en),
+    .start(launch), .data(tx_head), .txd(txd), .busy(tx_busy)
+  );
+
+  always @(posedge clk) begin
+    if (rst) begin
+      tx_inflight <= 1'b0;
+      tx_busy_q   <= 1'b0;
+    end else begin
+      tx_busy_q <= tx_busy;
+      if (launch) tx_inflight <= 1'b1;
+      else if (tx_pop) tx_inflight <= 1'b0;
+    end
+  end
+
+  assign tx_empty = tx_fifo_empty && !tx_busy && !tx_inflight;
+
+  wire [7:0] rx_byte;
+  wire       rx_valid, rx_perr;
+  wire       rx_fifo_full;
+
+  uart_rx rx0 (
+    .clk(clk), .rst(rst), .divisor(divisor), .parity_en(parity_en),
+    .rxd(rxd), .data(rx_byte), .valid(rx_valid), .perr(rx_perr)
+  );
+
+  sync_fifo #(.WIDTH(8), .DEPTH(16), .AW(4)) rxf (
+    .clk(clk), .rst(rst),
+    .wr_en(rx_valid && !rx_fifo_full), .wr_data(rx_byte),
+    .rd_en(rd_en), .rd_data(rd_data),
+    .full(rx_fifo_full), .empty(rx_empty), .count()
+  );
+  assign rx_full = rx_fifo_full;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      overrun    <= 1'b0;
+      parity_err <= 1'b0;
+    end else begin
+      if (rx_valid && rx_fifo_full) overrun <= 1'b1;
+      if (rx_valid && rx_perr)      parity_err <= 1'b1;
+    end
+  end
+endmodule
+`)
+	return map[string]string{
+		"sync_fifo.v": generateSPI()["sync_fifo.v"],
+		"uart_tx.v":   tx,
+		"uart_rx.v":   rx,
+		"uart.v":      top.String(),
+	}
+}

@@ -1,0 +1,142 @@
+package gatesim
+
+import (
+	"fmt"
+
+	"c2nn/internal/netlist"
+)
+
+// BatchSim evaluates 64 independent stimuli per pass by packing one
+// stimulus per bit lane of a uint64. This is the cheapest form of the
+// stimulus parallelism the paper exploits on the GPU (§I), applied to
+// the baseline simulator.
+type BatchSim struct {
+	p    *Program
+	vals []uint64
+	q    []uint64
+}
+
+// NewBatchSim creates a 64-lane bit-parallel simulator.
+func NewBatchSim(p *Program) *BatchSim {
+	s := &BatchSim{p: p, vals: make([]uint64, p.numNets), q: make([]uint64, len(p.ffQ))}
+	s.Reset()
+	return s
+}
+
+// Reset returns all lanes of all flip-flops to their initial values.
+func (s *BatchSim) Reset() {
+	for i, init := range s.p.ffInit {
+		if init {
+			s.q[i] = ^uint64(0)
+		} else {
+			s.q[i] = 0
+		}
+	}
+}
+
+// Poke sets one input port: lanes[i] holds bit i of the port across all
+// 64 stimuli (lane-major layout).
+func (s *BatchSim) Poke(name string, lanes []uint64) error {
+	port := s.p.nl.FindInput(name)
+	if port == nil {
+		return fmt.Errorf("gatesim: no input port %q", name)
+	}
+	for i, b := range port.Bits {
+		if i < len(lanes) {
+			s.vals[b] = lanes[i]
+		} else {
+			s.vals[b] = 0
+		}
+	}
+	return nil
+}
+
+// PokeLane sets the value of an input port for a single stimulus lane.
+func (s *BatchSim) PokeLane(name string, lane int, v uint64) error {
+	port := s.p.nl.FindInput(name)
+	if port == nil {
+		return fmt.Errorf("gatesim: no input port %q", name)
+	}
+	mask := uint64(1) << uint(lane)
+	for i, b := range port.Bits {
+		if i < 64 && v>>uint(i)&1 == 1 {
+			s.vals[b] |= mask
+		} else {
+			s.vals[b] &^= mask
+		}
+	}
+	return nil
+}
+
+// Eval propagates the combinational core across all 64 lanes.
+func (s *BatchSim) Eval() {
+	s.vals[netlist.ConstZero] = 0
+	s.vals[netlist.ConstOne] = ^uint64(0)
+	for i, q := range s.p.ffQ {
+		s.vals[q] = s.q[i]
+	}
+	for i := range s.p.instrs {
+		in := &s.p.instrs[i]
+		var v uint64
+		switch in.kind {
+		case netlist.Buf:
+			v = s.vals[in.a]
+		case netlist.Not:
+			v = ^s.vals[in.a]
+		case netlist.And:
+			v = s.vals[in.a] & s.vals[in.b]
+		case netlist.Or:
+			v = s.vals[in.a] | s.vals[in.b]
+		case netlist.Xor:
+			v = s.vals[in.a] ^ s.vals[in.b]
+		case netlist.Nand:
+			v = ^(s.vals[in.a] & s.vals[in.b])
+		case netlist.Nor:
+			v = ^(s.vals[in.a] | s.vals[in.b])
+		case netlist.Xnor:
+			v = ^(s.vals[in.a] ^ s.vals[in.b])
+		case netlist.Mux:
+			sel := s.vals[in.a]
+			v = (s.vals[in.b] &^ sel) | (s.vals[in.c] & sel)
+		}
+		s.vals[in.out] = v
+	}
+}
+
+// Step runs one clock cycle across all lanes.
+func (s *BatchSim) Step() {
+	s.Eval()
+	for i, d := range s.p.ffD {
+		s.q[i] = s.vals[d]
+	}
+}
+
+// Peek reads an output port: element i of the result holds bit i of the
+// port across all lanes.
+func (s *BatchSim) Peek(name string) ([]uint64, error) {
+	port := s.p.nl.FindOutput(name)
+	if port == nil {
+		return nil, fmt.Errorf("gatesim: no output port %q", name)
+	}
+	out := make([]uint64, len(port.Bits))
+	for i, b := range port.Bits {
+		out[i] = s.vals[b]
+	}
+	return out, nil
+}
+
+// PeekLane reads an output port value for a single stimulus lane.
+func (s *BatchSim) PeekLane(name string, lane int) (uint64, error) {
+	port := s.p.nl.FindOutput(name)
+	if port == nil {
+		return 0, fmt.Errorf("gatesim: no output port %q", name)
+	}
+	mask := uint64(1) << uint(lane)
+	var v uint64
+	for i, b := range port.Bits {
+		if i < 64 && s.vals[b]&mask != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,175 @@
+package gatesim
+
+import (
+	"runtime"
+	"sync"
+
+	"c2nn/internal/netlist"
+)
+
+// ParallelSim evaluates each combinational level with a pool of worker
+// goroutines separated by barriers. This is the structural-parallelism
+// counterpart of multi-threaded Verilator (§II-A): within a level all
+// gates are independent, but the per-level synchronisation cost bounds
+// the achievable speed-up (Amdahl's law), which the level-parallel
+// benchmark in the evaluation demonstrates.
+type ParallelSim struct {
+	p       *Program
+	vals    []bool
+	q       []bool
+	workers int
+
+	wg    sync.WaitGroup
+	tasks []chan span
+}
+
+type span struct {
+	lo, hi int32
+	done   *sync.WaitGroup
+}
+
+// NewParallelSim creates a level-parallel simulator with the given
+// worker count (0 selects GOMAXPROCS).
+func NewParallelSim(p *Program, workers int) *ParallelSim {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &ParallelSim{
+		p:       p,
+		vals:    make([]bool, p.numNets),
+		q:       make([]bool, len(p.ffQ)),
+		workers: workers,
+	}
+	s.Reset()
+	s.tasks = make([]chan span, workers)
+	for w := 0; w < workers; w++ {
+		ch := make(chan span, 1)
+		s.tasks[w] = ch
+		go func() {
+			for sp := range ch {
+				s.evalSpan(sp.lo, sp.hi)
+				sp.done.Done()
+			}
+		}()
+	}
+	return s
+}
+
+// Close stops the worker goroutines.
+func (s *ParallelSim) Close() {
+	for _, ch := range s.tasks {
+		close(ch)
+	}
+	s.tasks = nil
+}
+
+// Reset returns all flip-flops to their initial values.
+func (s *ParallelSim) Reset() {
+	for i, init := range s.p.ffInit {
+		s.q[i] = init
+	}
+}
+
+// Poke sets an input port from the low bits of v.
+func (s *ParallelSim) Poke(name string, v uint64) error {
+	port := s.p.nl.FindInput(name)
+	if port == nil {
+		return errNoPort(name)
+	}
+	for i, b := range port.Bits {
+		s.vals[b] = i < 64 && v>>uint(i)&1 == 1
+	}
+	return nil
+}
+
+func (s *ParallelSim) evalSpan(lo, hi int32) {
+	for i := lo; i < hi; i++ {
+		in := &s.p.instrs[i]
+		var v bool
+		switch in.kind {
+		case netlist.Buf:
+			v = s.vals[in.a]
+		case netlist.Not:
+			v = !s.vals[in.a]
+		case netlist.And:
+			v = s.vals[in.a] && s.vals[in.b]
+		case netlist.Or:
+			v = s.vals[in.a] || s.vals[in.b]
+		case netlist.Xor:
+			v = s.vals[in.a] != s.vals[in.b]
+		case netlist.Nand:
+			v = !(s.vals[in.a] && s.vals[in.b])
+		case netlist.Nor:
+			v = !(s.vals[in.a] || s.vals[in.b])
+		case netlist.Xnor:
+			v = s.vals[in.a] == s.vals[in.b]
+		case netlist.Mux:
+			if s.vals[in.a] {
+				v = s.vals[in.c]
+			} else {
+				v = s.vals[in.b]
+			}
+		}
+		s.vals[in.out] = v
+	}
+}
+
+// Eval propagates the combinational core, level by level, fanning each
+// level out across the workers.
+func (s *ParallelSim) Eval() {
+	s.vals[netlist.ConstZero] = false
+	s.vals[netlist.ConstOne] = true
+	for i, q := range s.p.ffQ {
+		s.vals[q] = s.q[i]
+	}
+	var start int32
+	for _, end := range s.p.levelEnd {
+		n := end - start
+		// Small levels are cheaper to run inline than to dispatch: the
+		// barrier cost would dominate (this is the Amdahl bottleneck).
+		if int(n) < 256 || s.workers == 1 {
+			s.evalSpan(start, end)
+			start = end
+			continue
+		}
+		chunk := (n + int32(s.workers) - 1) / int32(s.workers)
+		var done sync.WaitGroup
+		for w := 0; w < s.workers; w++ {
+			lo := start + int32(w)*chunk
+			hi := lo + chunk
+			if lo >= end {
+				break
+			}
+			if hi > end {
+				hi = end
+			}
+			done.Add(1)
+			s.tasks[w] <- span{lo: lo, hi: hi, done: &done}
+		}
+		done.Wait()
+		start = end
+	}
+}
+
+// Step runs one clock cycle.
+func (s *ParallelSim) Step() {
+	s.Eval()
+	for i, d := range s.p.ffD {
+		s.q[i] = s.vals[d]
+	}
+}
+
+// Peek reads an output port as an integer.
+func (s *ParallelSim) Peek(name string) (uint64, error) {
+	port := s.p.nl.FindOutput(name)
+	if port == nil {
+		return 0, errNoPort(name)
+	}
+	var v uint64
+	for i, b := range port.Bits {
+		if i < 64 && s.vals[b] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,190 @@
+package lutmap
+
+import (
+	"fmt"
+
+	"c2nn/internal/truthtab"
+)
+
+// Coalesce implements the paper's §V improvement: chains of pure AND (or
+// pure OR) LUTs are merged into single wide LUTs of up to maxWide
+// inputs, because their multi-linear polynomials stay trivially sparse
+// at any width (a 9-input AND is one monomial) — "the equivalent of
+// increasing L" without paying the 2^L cost for general functions. The
+// pass absorbs single-fanout same-kind inputs transitively and returns a
+// new, equivalent graph; K grows to the widest merged LUT.
+func Coalesce(g *Graph, maxWide int) (*Graph, error) {
+	if maxWide <= 0 {
+		maxWide = 16
+	}
+	if maxWide > truthtab.MaxVars {
+		return nil, fmt.Errorf("lutmap: maxWide %d exceeds table limit %d", maxWide, truthtab.MaxVars)
+	}
+
+	const (
+		kindOther = iota
+		kindAnd
+		kindOr
+	)
+	kind := make([]int, len(g.LUTs))
+	for i := range g.LUTs {
+		kind[i] = classifyLUT(&g.LUTs[i])
+	}
+
+	// Fanout counts (graph outputs count as extra fanout so an absorbed
+	// node never disappears from under an output reference).
+	fanout := make([]int, len(g.LUTs))
+	for i := range g.LUTs {
+		for _, in := range g.LUTs[i].Ins {
+			if !in.IsPI() {
+				fanout[in.LUT()]++
+			}
+		}
+	}
+	for _, r := range g.Outputs {
+		if !r.IsPI() {
+			fanout[r.LUT()]++
+		}
+	}
+
+	// Coalesced input lists, built in topological order.
+	newIns := make([][]NodeRef, len(g.LUTs))
+	changed := make([]bool, len(g.LUTs))
+	for u := range g.LUTs {
+		ins := append([]NodeRef(nil), g.LUTs[u].Ins...)
+		if kind[u] == kindOther {
+			newIns[u] = ins
+			continue
+		}
+		// Work-queue splice: absorb same-kind single-fanout LUT inputs.
+		var out []NodeRef
+		seen := make(map[NodeRef]bool)
+		queue := ins
+		for len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			if seen[r] {
+				continue
+			}
+			if !r.IsPI() {
+				v := r.LUT()
+				if kind[v] == kind[u] && fanout[v] == 1 &&
+					uniqueCount(seen, out, newIns[v])+len(queue) <= maxWide {
+					// Splice v's (already coalesced) inputs in place.
+					queue = append(append([]NodeRef(nil), newIns[v]...), queue...)
+					changed[u] = true
+					continue
+				}
+			}
+			seen[r] = true
+			out = append(out, r)
+		}
+		if len(out) > maxWide {
+			// Over budget (can happen when dedup assumptions fail):
+			// fall back to the original inputs.
+			out = ins
+			changed[u] = false
+		}
+		newIns[u] = out
+	}
+
+	// Rebuild the graph: keep only LUTs reachable from outputs.
+	live := make([]bool, len(g.LUTs))
+	var stack []int
+	mark := func(r NodeRef) {
+		if !r.IsPI() && !live[r.LUT()] {
+			live[r.LUT()] = true
+			stack = append(stack, r.LUT())
+		}
+	}
+	for _, r := range g.Outputs {
+		mark(r)
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range newIns[u] {
+			mark(in)
+		}
+	}
+
+	out := &Graph{K: g.K, NumPIs: g.NumPIs}
+	remap := make([]NodeRef, len(g.LUTs))
+	for u := range g.LUTs {
+		if !live[u] {
+			continue
+		}
+		ins := make([]NodeRef, len(newIns[u]))
+		for i, r := range newIns[u] {
+			if r.IsPI() {
+				ins[i] = r
+			} else {
+				ins[i] = remap[r.LUT()]
+			}
+		}
+		table := g.LUTs[u].Table
+		if changed[u] {
+			table = wideTable(kind[u] == kindAnd, len(ins))
+		}
+		if len(ins) > out.K {
+			out.K = len(ins)
+		}
+		remap[u] = NodeRef(len(out.LUTs))
+		out.LUTs = append(out.LUTs, LUT{Ins: ins, Table: table})
+	}
+	out.Outputs = make([]NodeRef, len(g.Outputs))
+	for i, r := range g.Outputs {
+		if r.IsPI() {
+			out.Outputs[i] = r
+		} else {
+			out.Outputs[i] = remap[r.LUT()]
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// uniqueCount estimates the merged input count if extra were spliced:
+// current kept + pending estimate. Conservative (duplicates only shrink
+// it).
+func uniqueCount(seen map[NodeRef]bool, out []NodeRef, extra []NodeRef) int {
+	n := len(out)
+	for _, r := range extra {
+		if !seen[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// classifyLUT detects pure AND (single 1 at the all-ones row) and pure
+// OR (single 0 at the all-zeros row) tables of arity >= 2.
+func classifyLUT(l *LUT) int {
+	k := l.Table.NumVars
+	if k < 2 {
+		return 0
+	}
+	ones := l.Table.CountOnes()
+	if ones == 1 && l.Table.Bit(l.Table.Size()-1) {
+		return 1 // AND
+	}
+	if ones == l.Table.Size()-1 && !l.Table.Bit(0) {
+		return 2 // OR
+	}
+	return 0
+}
+
+// wideTable builds the k-input AND or OR table.
+func wideTable(isAnd bool, k int) truthtab.Table {
+	t := truthtab.Const(k, isAnd)
+	for v := 0; v < k; v++ {
+		if isAnd {
+			t = t.And(truthtab.Var(k, v))
+		} else {
+			t = t.Or(truthtab.Var(k, v))
+		}
+	}
+	return t
+}

@@ -1,0 +1,184 @@
+package lutmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"c2nn/internal/netlist"
+	"c2nn/internal/synth"
+)
+
+// The §V headline example: a 9-input AND mapped at L=3 needs a tree of
+// LUTs; Coalesce collapses it back to a single wide monomial-friendly
+// LUT of depth 1.
+func TestCoalesceAnd9(t *testing.T) {
+	nl, err := synth.ElaborateSource("a9", map[string]string{"a.v": `
+module a9(input [8:0] x, output y);
+  assign y = &x;
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapNetlist(nl, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Graph.Depth() < 2 {
+		t.Fatalf("mapping at K=3 should need >=2 levels, got %d", m.Graph.Depth())
+	}
+	cg, err := Coalesce(m.Graph, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Depth() != 1 {
+		t.Errorf("coalesced depth = %d, want 1", cg.Depth())
+	}
+	if len(cg.LUTs) != 1 || len(cg.LUTs[0].Ins) != 9 {
+		t.Errorf("coalesced graph: %d LUTs, first has %d inputs", len(cg.LUTs), len(cg.LUTs[0].Ins))
+	}
+	// Function preserved.
+	for trial := 0; trial < 50; trial++ {
+		pis := make([]bool, 9)
+		all := true
+		for i := range pis {
+			pis[i] = trial%3 != 0 || i%2 == 0
+			if trial == 49 {
+				pis[i] = true
+			}
+			if !pis[i] {
+				all = false
+			}
+		}
+		vals := cg.Eval(pis)
+		outs := cg.OutputValues(pis, vals)
+		if outs[0] != all {
+			t.Fatalf("trial %d: got %v want %v", trial, outs[0], all)
+		}
+	}
+}
+
+// Coalescing must preserve the function of arbitrary mapped circuits.
+func TestCoalescePreservesFunction(t *testing.T) {
+	nl, err := synth.ElaborateSource("mix", map[string]string{"m.v": `
+module mix(input [11:0] a, b, output [3:0] y, output all, any);
+  assign y   = (a[3:0] & b[3:0]) | (a[7:4] ^ b[7:4]);
+  assign all = &{a, b};
+  assign any = |{a[5:0], b[11:6]};
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3, 4} {
+		m, err := MapNetlist(nl, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, err := Coalesce(m.Graph, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cg.Depth() > m.Graph.Depth() {
+			t.Errorf("K=%d: coalesce increased depth %d -> %d", k, m.Graph.Depth(), cg.Depth())
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		for trial := 0; trial < 100; trial++ {
+			pis := make([]bool, m.Graph.NumPIs)
+			for i := range pis {
+				pis[i] = rng.Intn(2) == 1
+			}
+			a := m.Graph.OutputValues(pis, m.Graph.Eval(pis))
+			b := cg.OutputValues(pis, cg.Eval(pis))
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("K=%d trial %d: output %d differs", k, trial, j)
+				}
+			}
+		}
+	}
+}
+
+// Shared (multi-fanout) AND chains must not be absorbed.
+func TestCoalesceRespectsFanout(t *testing.T) {
+	nl, err := synth.ElaborateSource("sh", map[string]string{"s.v": `
+module sh(input [3:0] a, output y, z);
+  wire t = &a[2:0];
+  assign y = t & a[3];
+  assign z = t ^ a[3];
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapNetlist(nl, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := Coalesce(m.Graph, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 64; trial++ {
+		pis := make([]bool, m.Graph.NumPIs)
+		for i := range pis {
+			pis[i] = rng.Intn(2) == 1
+		}
+		a := m.Graph.OutputValues(pis, m.Graph.Eval(pis))
+		b := cg.OutputValues(pis, cg.Eval(pis))
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("trial %d output %d differs", trial, j)
+			}
+		}
+	}
+}
+
+// Width budget respected even for very wide reductions; with a budget
+// that covers the whole reduction, the tree flattens to depth 1.
+func TestCoalesceWidthBudget(t *testing.T) {
+	nl, err := synth.ElaborateSource("w", map[string]string{"w.v": `
+module w(input [63:0] a, output y);
+  assign y = &a;
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapNetlist(nl, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight budget: every LUT obeys it and the function is unchanged.
+	cg, err := Coalesce(m.Graph, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cg.LUTs {
+		if len(cg.LUTs[i].Ins) > 12 {
+			t.Fatalf("LUT %d has %d inputs > budget", i, len(cg.LUTs[i].Ins))
+		}
+	}
+	if cg.Depth() > m.Graph.Depth() {
+		t.Errorf("coalesce increased depth: %d -> %d", m.Graph.Depth(), cg.Depth())
+	}
+
+	// Generous budget on a 16-input AND: full flattening to one LUT.
+	nl16, err := synth.ElaborateSource("w16", map[string]string{"w.v": `
+module w16(input [15:0] a, output y);
+  assign y = &a;
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m16, err := MapNetlist(nl16, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg16, err := Coalesce(m16.Graph, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg16.Depth() != 1 || len(cg16.LUTs) != 1 {
+		t.Errorf("16-input AND: depth=%d LUTs=%d, want 1/1", cg16.Depth(), len(cg16.LUTs))
+	}
+	// netlist import referenced for build constraints.
+	_ = netlist.ConstZero
+}

@@ -1,0 +1,255 @@
+package lutmap
+
+import (
+	"fmt"
+
+	"c2nn/internal/aig"
+)
+
+// flowMap computes depth-optimal K-feasible cuts with the FlowMap
+// labelling algorithm (Cong & Ding, 1994 — the algorithm the paper's
+// LUT-splitting step derives from, §III-B1 footnote 3). Each node's
+// label is the optimal mapped depth; the label of node t is p (the max
+// fanin label) iff a K-feasible cut separates t — with every label-p
+// fanin node collapsed into it — from the primary inputs, which reduces
+// to a max-flow test on the node-split fanin cone.
+//
+// Returned best cuts are indexed by node (nil for PIs/const).
+func flowMap(g *aig.AIG, opts Options) ([][]int32, error) {
+	n := g.NumNodes()
+	label := make([]int32, n)
+	best := make([][]int32, n)
+
+	for t := int32(0); t < int32(n); t++ {
+		if !g.IsAnd(t) {
+			continue
+		}
+		cone, inputs := collectCone(g, t)
+
+		// p = max label over cone nodes other than t (fanin labels
+		// propagate transitively, so the max over the cone equals the
+		// max over direct fanins' labels).
+		var p int32
+		fa, fb := g.Fanins(t)
+		if label[fa.Node()] > p {
+			p = label[fa.Node()]
+		}
+		if label[fb.Node()] > p {
+			p = label[fb.Node()]
+		}
+
+		cut, flow := minHeightCut(g, t, cone, inputs, label, p, opts.K)
+		if flow <= opts.K {
+			label[t] = p
+			if p == 0 {
+				label[t] = 1
+			}
+			best[t] = cut
+		} else {
+			label[t] = p + 1
+			best[t] = directCut(g, t)
+			if len(best[t]) > opts.K {
+				return nil, fmt.Errorf("lutmap: node %d direct cut exceeds K", t)
+			}
+		}
+	}
+	return best, nil
+}
+
+// collectCone gathers the transitive fanin cone of t: AND nodes
+// (including t) and the PI nodes feeding it.
+func collectCone(g *aig.AIG, t int32) (ands, pis []int32) {
+	seen := map[int32]bool{}
+	var stack []int32
+	stack = append(stack, t)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if g.IsPI(v) {
+			pis = append(pis, v)
+			continue
+		}
+		if g.IsConst(v) {
+			continue
+		}
+		ands = append(ands, v)
+		a, b := g.Fanins(v)
+		stack = append(stack, a.Node(), b.Node())
+	}
+	return ands, pis
+}
+
+// directCut returns the distinct fanin nodes of t.
+func directCut(g *aig.AIG, t int32) []int32 {
+	a, b := g.Fanins(t)
+	if a.Node() == b.Node() {
+		return []int32{a.Node()}
+	}
+	x, y := a.Node(), b.Node()
+	if x > y {
+		x, y = y, x
+	}
+	return []int32{x, y}
+}
+
+// flowEdge is one directed edge of the flow network with a residual
+// twin.
+type flowEdge struct {
+	to   int32
+	cap  int32
+	next int32 // index of next edge out of the same vertex
+}
+
+// minHeightCut runs the FlowMap feasibility test: nodes of the cone with
+// label == p (plus t itself) collapse into the sink; every remaining
+// node splits into in/out with capacity 1; a max-flow <= K certifies a
+// K-feasible cut, recovered from the residual graph.
+func minHeightCut(g *aig.AIG, t int32, cone, pis []int32, label []int32, p int32, k int) ([]int32, int) {
+	inCluster := func(v int32) bool {
+		return v == t || (g.IsAnd(v) && label[v] == p && p > 0)
+	}
+
+	// Vertex numbering: 0 = source, 1 = sink, then in/out pairs.
+	id := make(map[int32]int32)
+	var order []int32
+	for _, v := range append(append([]int32{}, cone...), pis...) {
+		if inCluster(v) {
+			continue
+		}
+		id[v] = int32(len(order))
+		order = append(order, v)
+	}
+	numV := 2 + 2*len(order)
+	vin := func(v int32) int32 { return 2 + 2*id[v] }
+	vout := func(v int32) int32 { return 2 + 2*id[v] + 1 }
+
+	head := make([]int32, numV)
+	for i := range head {
+		head[i] = -1
+	}
+	var edges []flowEdge
+	addEdge := func(u, v, c int32) {
+		edges = append(edges, flowEdge{to: v, cap: c, next: head[u]})
+		head[u] = int32(len(edges) - 1)
+		edges = append(edges, flowEdge{to: u, cap: 0, next: head[v]})
+		head[v] = int32(len(edges) - 1)
+	}
+	const inf = int32(1 << 30)
+
+	coneSet := make(map[int32]bool, len(cone)+len(pis))
+	for _, v := range cone {
+		coneSet[v] = true
+	}
+	for _, v := range pis {
+		coneSet[v] = true
+	}
+
+	// Split nodes and source edges.
+	for _, v := range order {
+		addEdge(vin(v), vout(v), 1)
+		if g.IsPI(v) {
+			addEdge(0, vin(v), inf)
+		}
+	}
+	// Fanin edges within the cone.
+	for _, v := range cone {
+		a, b := g.Fanins(v)
+		for _, u := range []int32{a.Node(), b.Node()} {
+			if !coneSet[u] || g.IsConst(u) {
+				continue
+			}
+			var dst int32
+			if inCluster(v) {
+				dst = 1 // sink
+			} else {
+				dst = vin(v)
+			}
+			var src int32
+			if inCluster(u) {
+				continue // intra-cluster edge
+			}
+			src = vout(u)
+			addEdge(src, dst, inf)
+		}
+	}
+
+	// Edmonds-Karp bounded by k+1 augmentations (unit node capacities).
+	flow := 0
+	parent := make([]int32, numV) // edge index into vertex
+	for flow <= k {
+		for i := range parent {
+			parent[i] = -1
+		}
+		queue := []int32{0}
+		parent[0] = -2
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei := head[u]; ei != -1; ei = edges[ei].next {
+				e := edges[ei]
+				if e.cap <= 0 || parent[e.to] != -1 {
+					continue
+				}
+				parent[e.to] = ei
+				if e.to == 1 {
+					found = true
+					break bfs
+				}
+				queue = append(queue, e.to)
+			}
+		}
+		if !found {
+			break
+		}
+		// Augment by 1 (all paths carry unit flow through a split node).
+		v := int32(1)
+		for parent[v] != -2 {
+			ei := parent[v]
+			edges[ei].cap--
+			edges[ei^1].cap++
+			v = edges[ei^1].to
+		}
+		flow++
+	}
+	if flow > k {
+		return nil, flow
+	}
+
+	// Min cut: vertices reachable from source in the residual graph.
+	reach := make([]bool, numV)
+	reach[0] = true
+	queue := []int32{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for ei := head[u]; ei != -1; ei = edges[ei].next {
+			e := edges[ei]
+			if e.cap > 0 && !reach[e.to] {
+				reach[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	var cutNodes []int32
+	for _, v := range order {
+		if reach[vin(v)] && !reach[vout(v)] {
+			cutNodes = append(cutNodes, v)
+		}
+	}
+	sortInt32(cutNodes)
+	return cutNodes, flow
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

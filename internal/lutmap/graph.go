@@ -1,0 +1,203 @@
+// Package lutmap implements K-feasible-cut technology mapping: it covers
+// the AIG of a circuit with look-up tables of at most K inputs,
+// producing the "computation graph with truth tables" of paper Fig. 3.
+//
+// Two mapping algorithms are provided:
+//
+//   - priority cuts (the practical algorithm used inside ABC, the
+//     library the paper invokes through Yosys): bottom-up cut
+//     enumeration with bounded cut sets ranked depth-first;
+//   - a FlowMap mode (Cong & Ding, the paper's reference [33]) that
+//     computes provably depth-optimal labels via max-flow min-cut, at
+//     higher mapping cost.
+//
+// Both produce the same Graph structure, which downstream stages convert
+// to polynomials and neural layers.
+package lutmap
+
+import (
+	"fmt"
+
+	"c2nn/internal/netlist"
+	"c2nn/internal/truthtab"
+)
+
+// NodeRef references a value in the computation graph: either a primary
+// input (negative encoding) or a LUT output (non-negative index).
+type NodeRef int32
+
+// PIRef encodes primary input i as a NodeRef.
+func PIRef(i int) NodeRef { return NodeRef(-int32(i) - 1) }
+
+// IsPI reports whether the reference is a primary input.
+func (r NodeRef) IsPI() bool { return r < 0 }
+
+// PI returns the primary input index (valid when IsPI).
+func (r NodeRef) PI() int { return int(-r - 1) }
+
+// LUT returns the LUT index (valid when !IsPI).
+func (r NodeRef) LUT() int { return int(r) }
+
+// LUT is one look-up table node of the computation graph: a Boolean
+// function of at most K inputs (paper Fig. 3). Some LUTs are smaller
+// than K, exactly as the figure notes; constant LUTs have no inputs.
+type LUT struct {
+	Ins   []NodeRef
+	Table truthtab.Table
+}
+
+// Graph is the LUT computation graph: a DAG whose nodes are binary
+// signals and whose edges are functional dependencies of at most K
+// inputs per node.
+type Graph struct {
+	K      int
+	NumPIs int
+	// LUTs are stored in topological order (inputs precede users).
+	LUTs []LUT
+	// Outputs are the circuit's combinational outputs in netlist
+	// CombOutputs order.
+	Outputs []NodeRef
+}
+
+// Level returns the level of every LUT (PIs are level 0, a LUT is one
+// more than its deepest input).
+func (g *Graph) Level() []int32 {
+	lv := make([]int32, len(g.LUTs))
+	for i := range g.LUTs {
+		var m int32
+		for _, in := range g.LUTs[i].Ins {
+			if !in.IsPI() {
+				if l := lv[in.LUT()]; l > m {
+					m = l
+				}
+			}
+		}
+		lv[i] = m + 1
+	}
+	return lv
+}
+
+// Depth returns the number of LUT levels (the computation-graph depth
+// whose O(1/log2 L) dependence on LUT size the paper analyses).
+func (g *Graph) Depth() int32 {
+	var d int32
+	for _, l := range g.Level() {
+		if l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// Eval computes all LUT values for one PI assignment; used by tests and
+// the equivalence checker.
+func (g *Graph) Eval(pis []bool) []bool {
+	if len(pis) != g.NumPIs {
+		panic("lutmap: wrong PI count")
+	}
+	vals := make([]bool, len(g.LUTs))
+	ref := func(r NodeRef) bool {
+		if r.IsPI() {
+			return pis[r.PI()]
+		}
+		return vals[r.LUT()]
+	}
+	for i := range g.LUTs {
+		l := &g.LUTs[i]
+		var idx uint64
+		for k, in := range l.Ins {
+			if ref(in) {
+				idx |= 1 << uint(k)
+			}
+		}
+		vals[i] = l.Table.Eval(idx)
+	}
+	return vals
+}
+
+// OutputValues extracts the output bits from an Eval result.
+func (g *Graph) OutputValues(pis, vals []bool) []bool {
+	out := make([]bool, len(g.Outputs))
+	for i, r := range g.Outputs {
+		if r.IsPI() {
+			out[i] = pis[r.PI()]
+		} else {
+			out[i] = vals[r.LUT()]
+		}
+	}
+	return out
+}
+
+// Stats summarises a mapping.
+type Stats struct {
+	K         int
+	LUTs      int
+	Depth     int32
+	MaxIns    int
+	MeanIns   float64
+	ByArity   map[int]int
+	TableBits int
+}
+
+// ComputeStats gathers mapping statistics.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{K: g.K, LUTs: len(g.LUTs), Depth: g.Depth(), ByArity: make(map[int]int)}
+	totalIns := 0
+	for i := range g.LUTs {
+		n := len(g.LUTs[i].Ins)
+		s.ByArity[n]++
+		totalIns += n
+		if n > s.MaxIns {
+			s.MaxIns = n
+		}
+		s.TableBits += g.LUTs[i].Table.Size()
+	}
+	if len(g.LUTs) > 0 {
+		s.MeanIns = float64(totalIns) / float64(len(g.LUTs))
+	}
+	return s
+}
+
+// Validate checks structural invariants: topological order, input
+// bounds, table arity agreement.
+func (g *Graph) Validate() error {
+	for i := range g.LUTs {
+		l := &g.LUTs[i]
+		if len(l.Ins) > g.K {
+			return fmt.Errorf("lutmap: LUT %d has %d inputs > K=%d", i, len(l.Ins), g.K)
+		}
+		if l.Table.NumVars != len(l.Ins) {
+			return fmt.Errorf("lutmap: LUT %d table arity %d != %d inputs", i, l.Table.NumVars, len(l.Ins))
+		}
+		for _, in := range l.Ins {
+			if in.IsPI() {
+				if in.PI() >= g.NumPIs {
+					return fmt.Errorf("lutmap: LUT %d reads PI %d out of range", i, in.PI())
+				}
+			} else if in.LUT() >= i {
+				return fmt.Errorf("lutmap: LUT %d reads LUT %d (not topological)", i, in.LUT())
+			}
+		}
+	}
+	for oi, r := range g.Outputs {
+		if r.IsPI() {
+			if r.PI() >= g.NumPIs {
+				return fmt.Errorf("lutmap: output %d references PI out of range", oi)
+			}
+		} else if r.LUT() >= len(g.LUTs) {
+			return fmt.Errorf("lutmap: output %d references LUT out of range", oi)
+		}
+	}
+	return nil
+}
+
+// Mapping ties a Graph back to the netlist it was mapped from.
+type Mapping struct {
+	Graph *Graph
+	// PINets[i] is the net feeding PI i (primary inputs then flip-flop
+	// Q pins, in netlist order).
+	PINets []netlist.NetID
+	// OutputNets[j] is the net of Graph.Outputs[j] (primary outputs
+	// then flip-flop D pins).
+	OutputNets []netlist.NetID
+}

@@ -1,0 +1,290 @@
+package lutmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"c2nn/internal/aig"
+	"c2nn/internal/netlist"
+	"c2nn/internal/synth"
+)
+
+// evalNetlist computes all net values of a combinational netlist.
+func evalNetlist(t *testing.T, nl *netlist.Netlist, inputs map[netlist.NetID]bool) []bool {
+	t.Helper()
+	lev, err := nl.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]bool, nl.NumNets())
+	vals[netlist.ConstOne] = true
+	for id, v := range inputs {
+		vals[id] = v
+	}
+	var in [3]bool
+	for _, gi := range lev.Order {
+		g := &nl.Gates[gi]
+		for k, id := range g.Inputs() {
+			in[k] = vals[id]
+		}
+		vals[g.Out] = g.Kind.Eval(in[:g.Kind.Arity()])
+	}
+	return vals
+}
+
+// checkEquivalence maps nl at the given K/algorithm and verifies the
+// graph against the netlist on random stimuli.
+func checkEquivalence(t *testing.T, nl *netlist.Netlist, k int, alg Algorithm, trials int) *Mapping {
+	t.Helper()
+	m, err := MapNetlist(nl, Options{K: k, Algorithm: alg})
+	if err != nil {
+		t.Fatalf("MapNetlist(K=%d, alg=%d): %v", k, alg, err)
+	}
+	if err := m.Graph.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < trials; trial++ {
+		inputs := make(map[netlist.NetID]bool)
+		pis := make([]bool, len(m.PINets))
+		for i, net := range m.PINets {
+			v := rng.Intn(2) == 1
+			inputs[net] = v
+			pis[i] = v
+		}
+		ref := evalNetlist(t, nl, inputs)
+		vals := m.Graph.Eval(pis)
+		outs := m.Graph.OutputValues(pis, vals)
+		for j, net := range m.OutputNets {
+			if outs[j] != ref[net] {
+				t.Fatalf("K=%d alg=%d trial %d: output %s = %v, want %v",
+					k, alg, trial, nl.NameOf(net), outs[j], ref[net])
+			}
+		}
+	}
+	return m
+}
+
+const aluSrc = `
+module alu(input [7:0] a, b, input [1:0] op, output [7:0] y, output zero);
+  reg [7:0] r;
+  always @* begin
+    case (op)
+      2'd0: r = a + b;
+      2'd1: r = a - b;
+      2'd2: r = a & b;
+      default: r = a ^ ~b;
+    endcase
+  end
+  assign y = r;
+  assign zero = ~|r;
+endmodule`
+
+func elabALU(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl, err := synth.ElaborateSource("alu", map[string]string{"alu.v": aluSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestPriorityCutsEquivalence(t *testing.T) {
+	nl := elabALU(t)
+	for _, k := range []int{2, 3, 4, 6, 8, 11} {
+		checkEquivalence(t, nl, k, PriorityCuts, 50)
+	}
+}
+
+func TestFlowMapEquivalence(t *testing.T) {
+	nl := elabALU(t)
+	for _, k := range []int{3, 4, 6} {
+		checkEquivalence(t, nl, k, FlowMap, 30)
+	}
+}
+
+func TestDepthDecreasesWithK(t *testing.T) {
+	nl := elabALU(t)
+	var prev int32 = 1 << 30
+	for _, k := range []int{2, 4, 8, 12} {
+		m, err := MapNetlist(nl, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m.Graph.Depth()
+		if d > prev {
+			t.Errorf("depth increased from %d to %d going to K=%d", prev, d, k)
+		}
+		prev = d
+	}
+}
+
+func TestLUTCountDecreasesWithK(t *testing.T) {
+	nl := elabALU(t)
+	m3, err := MapNetlist(nl, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m11, err := MapNetlist(nl, Options{K: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m11.Graph.LUTs) >= len(m3.Graph.LUTs) {
+		t.Errorf("LUTs: K=3 -> %d, K=11 -> %d (expected decrease)",
+			len(m3.Graph.LUTs), len(m11.Graph.LUTs))
+	}
+}
+
+func TestFlowMapDepthOptimal(t *testing.T) {
+	// FlowMap depth must never exceed priority-cut depth.
+	nl := elabALU(t)
+	for _, k := range []int{3, 4, 5} {
+		mp, err := MapNetlist(nl, Options{K: k, Algorithm: PriorityCuts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := MapNetlist(nl, Options{K: k, Algorithm: FlowMap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mf.Graph.Depth() > mp.Graph.Depth() {
+			t.Errorf("K=%d: FlowMap depth %d > priority-cut depth %d",
+				k, mf.Graph.Depth(), mp.Graph.Depth())
+		}
+	}
+}
+
+func TestSequentialMapping(t *testing.T) {
+	nl, err := synth.ElaborateSource("ctr", map[string]string{"c.v": `
+module ctr(input clk, rst, output reg [7:0] q, output wrap);
+  always @(posedge clk) begin
+    if (rst) q <= 8'd0;
+    else q <= q + 8'd1;
+  end
+  assign wrap = &q;
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := checkEquivalence(t, nl, 4, PriorityCuts, 50)
+	// PIs = clk, rst + 8 pseudo-inputs (Q); outputs = q(8), wrap + 8
+	// pseudo-outputs (D).
+	if len(m.PINets) != 10 {
+		t.Errorf("PIs = %d, want 10", len(m.PINets))
+	}
+	if len(m.OutputNets) != 17 {
+		t.Errorf("outputs = %d, want 17", len(m.OutputNets))
+	}
+}
+
+func TestOutputIsInput(t *testing.T) {
+	nl, err := synth.ElaborateSource("wirepass", map[string]string{"w.v": `
+module wirepass(input a, output y, output ny);
+  assign y = a;
+  assign ny = ~a;
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := checkEquivalence(t, nl, 4, PriorityCuts, 4)
+	if !m.Graph.Outputs[0].IsPI() {
+		t.Error("pass-through output should reference the PI directly")
+	}
+	if m.Graph.Outputs[1].IsPI() {
+		t.Error("inverted output needs a NOT LUT")
+	}
+}
+
+func TestConstantOutput(t *testing.T) {
+	nl, err := synth.ElaborateSource("konst", map[string]string{"k.v": `
+module konst(input a, output z, output o);
+  assign z = a & ~a;
+  assign o = a | ~a;
+endmodule`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := checkEquivalence(t, nl, 4, PriorityCuts, 2)
+	for _, r := range m.Graph.Outputs {
+		if r.IsPI() {
+			t.Error("constant output mapped to PI")
+		} else if n := len(m.Graph.LUTs[r.LUT()].Ins); n != 0 {
+			t.Errorf("constant LUT has %d inputs", n)
+		}
+	}
+}
+
+func TestCutSizeRespected(t *testing.T) {
+	nl := elabALU(t)
+	for _, k := range []int{2, 5, 9} {
+		m, err := MapNetlist(nl, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range m.Graph.LUTs {
+			if len(l.Ins) > k {
+				t.Fatalf("K=%d: LUT %d has %d inputs", k, i, len(l.Ins))
+			}
+		}
+	}
+}
+
+func TestBadK(t *testing.T) {
+	nl := elabALU(t)
+	if _, err := MapNetlist(nl, Options{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := MapNetlist(nl, Options{K: 99}); err == nil {
+		t.Error("K=99 accepted")
+	}
+}
+
+func TestNodeRefEncoding(t *testing.T) {
+	r := PIRef(7)
+	if !r.IsPI() || r.PI() != 7 {
+		t.Fatalf("PIRef broken: %d -> %d", r, r.PI())
+	}
+	l := NodeRef(3)
+	if l.IsPI() || l.LUT() != 3 {
+		t.Fatal("LUT ref broken")
+	}
+}
+
+// Map a raw AIG directly (unit-level interface).
+func TestMapRawAIG(t *testing.T) {
+	g := aig.New(4)
+	a, b, c, d := g.PI(0), g.PI(1), g.PI(2), g.PI(3)
+	f := g.Or(g.And(a, b), g.Xor(c, d))
+	gr, err := Map(g, []aig.Lit{f, f.Flip()}, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 16; p++ {
+		pis := []bool{p&1 == 1, p>>1&1 == 1, p>>2&1 == 1, p>>3&1 == 1}
+		want := (pis[0] && pis[1]) || (pis[2] != pis[3])
+		vals := gr.Eval(pis)
+		outs := gr.OutputValues(pis, vals)
+		if outs[0] != want || outs[1] != !want {
+			t.Fatalf("p=%d: outs=%v want %v/%v", p, outs, want, !want)
+		}
+	}
+	// With K=4 the whole function fits one LUT (plus its complement).
+	if d := gr.Depth(); d != 1 {
+		t.Errorf("depth = %d, want 1", d)
+	}
+}
+
+func TestGraphStats(t *testing.T) {
+	nl := elabALU(t)
+	m, err := MapNetlist(nl, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Graph.ComputeStats()
+	if s.LUTs != len(m.Graph.LUTs) || s.MaxIns > 5 || s.Depth != m.Graph.Depth() {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.MeanIns <= 0 || s.TableBits <= 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}

@@ -1,0 +1,75 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the netlist as a Graphviz digraph: inputs as
+// triangles, gates as boxes labelled by kind, flip-flops as double
+// boxes, outputs as inverted triangles. Intended for small circuits and
+// documentation figures.
+func (n *Netlist) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", sanitizeIdent(n.Name))
+
+	src := make(map[NetID]string, n.numNets)
+	src[ConstZero] = "const0"
+	src[ConstOne] = "const1"
+	b.WriteString("  const0 [label=\"0\" shape=plaintext];\n")
+	b.WriteString("  const1 [label=\"1\" shape=plaintext];\n")
+
+	for i := range n.Inputs {
+		p := &n.Inputs[i]
+		id := fmt.Sprintf("in_%s", sanitizeIdent(p.Name))
+		fmt.Fprintf(&b, "  %s [label=\"%s[%d]\" shape=triangle color=blue];\n", id, p.Name, p.Width())
+		for _, bit := range p.Bits {
+			src[bit] = id
+		}
+	}
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		id := fmt.Sprintf("g%d", gi)
+		fmt.Fprintf(&b, "  %s [label=\"%s\" shape=box];\n", id, g.Kind)
+		src[g.Out] = id
+	}
+	for fi := range n.FFs {
+		id := fmt.Sprintf("ff%d", fi)
+		fmt.Fprintf(&b, "  %s [label=\"DFF\" shape=box peripheries=2 color=darkgreen];\n", id)
+		src[n.FFs[fi].Q] = id
+	}
+
+	edge := func(from NetID, to string) {
+		s, ok := src[from]
+		if !ok {
+			s = "undriven"
+		}
+		fmt.Fprintf(&b, "  %s -> %s;\n", s, to)
+	}
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		for _, in := range g.Inputs() {
+			edge(in, fmt.Sprintf("g%d", gi))
+		}
+	}
+	for fi := range n.FFs {
+		edge(n.FFs[fi].D, fmt.Sprintf("ff%d", fi))
+	}
+	for i := range n.Outputs {
+		p := &n.Outputs[i]
+		id := fmt.Sprintf("out_%s", sanitizeIdent(p.Name))
+		fmt.Fprintf(&b, "  %s [label=\"%s[%d]\" shape=invtriangle color=red];\n", id, p.Name, p.Width())
+		seen := map[string]bool{}
+		for _, bit := range p.Bits {
+			s, ok := src[bit]
+			if ok && !seen[s] {
+				seen[s] = true
+				fmt.Fprintf(&b, "  %s -> %s;\n", s, id)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

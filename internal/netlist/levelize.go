@@ -1,0 +1,163 @@
+package netlist
+
+import "fmt"
+
+// Levelization is a topological ordering of the combinational gates of a
+// netlist, grouped into levels. Level 0 consists of the combinational
+// inputs (constants, primary inputs, flip-flop Q pins); a gate's level is
+// 1 + max level of its inputs. Levelization is the basis of both the
+// baseline cycle simulator and the layered construction of the neural
+// network (paper §III-B3).
+type Levelization struct {
+	// Order holds indices into Netlist.Gates in a valid topological
+	// evaluation order.
+	Order []int32
+	// GateLevel[i] is the level of Gates[i].
+	GateLevel []int32
+	// NetLevel[id] is the level of net id (0 for combinational inputs).
+	NetLevel []int32
+	// Depth is the maximum gate level (0 for a netlist with no gates).
+	Depth int32
+	// LevelStart[l] .. LevelStart[l+1] delimit the gates of level l+1 in
+	// Order (level numbering of gates starts at 1).
+	LevelStart []int32
+}
+
+// Levelize topologically sorts the combinational gates. It returns an
+// error if the combinational core contains a cycle (which indicates an
+// improperly designed circuit whose feedback is not broken by flip-flops,
+// cf. paper §III-C) or if a gate reads an undriven net.
+func (n *Netlist) Levelize() (*Levelization, error) {
+	drv := n.DriverIndex()
+	driven := make([]bool, n.numNets)
+	driven[ConstZero] = true
+	driven[ConstOne] = true
+	for i := range n.Inputs {
+		for _, b := range n.Inputs[i].Bits {
+			driven[b] = true
+		}
+	}
+	for i := range n.FFs {
+		driven[n.FFs[i].Q] = true
+	}
+
+	lev := &Levelization{
+		GateLevel: make([]int32, len(n.Gates)),
+		NetLevel:  make([]int32, n.numNets),
+		Order:     make([]int32, 0, len(n.Gates)),
+	}
+
+	// Iterative DFS post-order over gate dependencies.
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make([]uint8, len(n.Gates))
+	var stack []int32
+
+	visit := func(root int32) error {
+		if state[root] != unvisited {
+			return nil
+		}
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			gi := stack[len(stack)-1]
+			if state[gi] == done {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if state[gi] == unvisited {
+				state[gi] = onStack
+			}
+			g := &n.Gates[gi]
+			progressed := false
+			var maxIn int32
+			for _, in := range g.Inputs() {
+				di := drv[in]
+				if di < 0 {
+					if !driven[in] {
+						return fmt.Errorf("netlist %q: gate %s output %s reads undriven net %s",
+							n.Name, g.Kind, n.NameOf(g.Out), n.NameOf(in))
+					}
+					continue // combinational input, level 0
+				}
+				switch state[di] {
+				case unvisited:
+					stack = append(stack, di)
+					progressed = true
+				case onStack:
+					return fmt.Errorf("netlist %q: combinational cycle through net %s",
+						n.Name, n.NameOf(n.Gates[di].Out))
+				case done:
+					if l := lev.GateLevel[di]; l > maxIn {
+						maxIn = l
+					}
+				}
+			}
+			if progressed {
+				continue
+			}
+			// All inputs resolved.
+			lev.GateLevel[gi] = maxIn + 1
+			lev.NetLevel[g.Out] = maxIn + 1
+			state[gi] = done
+			lev.Order = append(lev.Order, gi)
+			stack = stack[:len(stack)-1]
+		}
+		return nil
+	}
+
+	for gi := range n.Gates {
+		if err := visit(int32(gi)); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, l := range lev.GateLevel {
+		if l > lev.Depth {
+			lev.Depth = l
+		}
+	}
+
+	// Re-sort Order by level (stable within DFS order) and compute level
+	// boundaries. Counting sort keeps this O(gates + depth).
+	counts := make([]int32, lev.Depth+1)
+	for _, gi := range lev.Order {
+		counts[lev.GateLevel[gi]]++
+	}
+	lev.LevelStart = make([]int32, lev.Depth+1)
+	var acc int32
+	for l := int32(1); l <= lev.Depth; l++ {
+		lev.LevelStart[l-1] = acc
+		acc += counts[l]
+	}
+	if lev.Depth > 0 {
+		lev.LevelStart[lev.Depth] = acc
+	}
+	pos := make([]int32, lev.Depth+1)
+	copy(pos, lev.LevelStart)
+	sorted := make([]int32, len(lev.Order))
+	for _, gi := range lev.Order {
+		l := lev.GateLevel[gi] - 1
+		sorted[pos[l]] = gi
+		pos[l]++
+	}
+	lev.Order = sorted
+	return lev, nil
+}
+
+// GatesAtLevel returns the gate indices at the given 1-based level.
+func (l *Levelization) GatesAtLevel(level int32) []int32 {
+	if level < 1 || level > l.Depth {
+		return nil
+	}
+	start := l.LevelStart[level-1]
+	var end int32
+	if level == l.Depth {
+		end = int32(len(l.Order))
+	} else {
+		end = l.LevelStart[level]
+	}
+	return l.Order[start:end]
+}

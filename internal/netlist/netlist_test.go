@@ -1,0 +1,438 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGateKindEval(t *testing.T) {
+	cases := []struct {
+		kind GateKind
+		in   []bool
+		want bool
+	}{
+		{Buf, []bool{true}, true},
+		{Buf, []bool{false}, false},
+		{Not, []bool{true}, false},
+		{Not, []bool{false}, true},
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{true, false}, true},
+		{Xor, []bool{true, true}, false},
+		{Xor, []bool{true, false}, true},
+		{Nand, []bool{true, true}, false},
+		{Nand, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Nor, []bool{true, false}, false},
+		{Xnor, []bool{true, true}, true},
+		{Xnor, []bool{true, false}, false},
+		{Mux, []bool{false, true, false}, true},
+		{Mux, []bool{true, true, false}, false},
+		{Mux, []bool{false, false, true}, false},
+		{Mux, []bool{true, false, true}, true},
+	}
+	for _, c := range cases {
+		if got := c.kind.Eval(c.in); got != c.want {
+			t.Errorf("%s.Eval(%v) = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+// EvalWord must agree with Eval on every lane.
+func TestEvalWordMatchesEval(t *testing.T) {
+	for k := Buf; k < numGateKinds; k++ {
+		ar := k.Arity()
+		for pattern := 0; pattern < 1<<ar; pattern++ {
+			bits := make([]bool, ar)
+			words := make([]uint64, ar)
+			for i := 0; i < ar; i++ {
+				bits[i] = pattern>>i&1 == 1
+				if bits[i] {
+					words[i] = ^uint64(0)
+				}
+			}
+			want := k.Eval(bits)
+			got := k.EvalWord(words)
+			if want && got != ^uint64(0) || !want && got != 0 {
+				t.Errorf("%s pattern %b: Eval=%v EvalWord=%x", k, pattern, want, got)
+			}
+		}
+	}
+}
+
+func TestArity(t *testing.T) {
+	if Buf.Arity() != 1 || Not.Arity() != 1 {
+		t.Error("unary gates must have arity 1")
+	}
+	if And.Arity() != 2 || Xnor.Arity() != 2 {
+		t.Error("binary gates must have arity 2")
+	}
+	if Mux.Arity() != 3 {
+		t.Error("mux must have arity 3")
+	}
+}
+
+// buildFullAdder constructs a 1-bit full adder: sum = a^b^cin,
+// cout = ab | cin(a^b).
+func buildFullAdder(t *testing.T) (*Netlist, []NetID) {
+	t.Helper()
+	n := New("fa")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	cin := n.AddInput("cin", 1)[0]
+	axb := n.AddGate(Xor, a, b)
+	sum := n.AddGate(Xor, axb, cin)
+	ab := n.AddGate(And, a, b)
+	cax := n.AddGate(And, cin, axb)
+	cout := n.AddGate(Or, ab, cax)
+	n.AddOutput("sum", []NetID{sum})
+	n.AddOutput("cout", []NetID{cout})
+	return n, []NetID{a, b, cin}
+}
+
+func TestLevelizeFullAdder(t *testing.T) {
+	n, _ := buildFullAdder(t)
+	lev, err := n.Levelize()
+	if err != nil {
+		t.Fatalf("Levelize: %v", err)
+	}
+	if lev.Depth != 3 {
+		t.Errorf("depth = %d, want 3", lev.Depth)
+	}
+	if len(lev.Order) != len(n.Gates) {
+		t.Fatalf("order covers %d gates, want %d", len(lev.Order), len(n.Gates))
+	}
+	// Every gate appears after its input drivers.
+	pos := make(map[int32]int)
+	for i, gi := range lev.Order {
+		pos[gi] = i
+	}
+	drv := n.DriverIndex()
+	for _, gi := range lev.Order {
+		for _, in := range n.Gates[gi].Inputs() {
+			if di := drv[in]; di >= 0 && pos[di] >= pos[gi] {
+				t.Fatalf("gate %d ordered before its input driver %d", gi, di)
+			}
+		}
+	}
+	// Level grouping must be consistent with GateLevel.
+	for l := int32(1); l <= lev.Depth; l++ {
+		for _, gi := range lev.GatesAtLevel(l) {
+			if lev.GateLevel[gi] != l {
+				t.Errorf("gate %d in level bucket %d but has level %d", gi, l, lev.GateLevel[gi])
+			}
+		}
+	}
+}
+
+func TestLevelizeDetectsCycle(t *testing.T) {
+	n := New("cyc")
+	a := n.AddInput("a", 1)[0]
+	x := n.NewNet()
+	y := n.AddGate(And, a, x)
+	n.AddGateOut(Or, x, y, a)
+	n.AddOutput("o", []NetID{y})
+	if _, err := n.Levelize(); err == nil {
+		t.Fatal("Levelize accepted a combinational cycle")
+	}
+}
+
+func TestLevelizeUndrivenInput(t *testing.T) {
+	n := New("undriven")
+	a := n.AddInput("a", 1)[0]
+	ghost := n.NewNet()
+	o := n.AddGate(And, a, ghost)
+	n.AddOutput("o", []NetID{o})
+	if _, err := n.Levelize(); err == nil {
+		t.Fatal("Levelize accepted a gate reading an undriven net")
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	n, _ := buildFullAdder(t)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateMultipleDrivers(t *testing.T) {
+	n := New("multi")
+	a := n.AddInput("a", 1)[0]
+	x := n.AddGate(Not, a)
+	n.AddGateOut(Buf, x, a)
+	n.AddOutput("o", []NetID{x})
+	if err := n.Validate(); err == nil {
+		t.Fatal("Validate accepted multiple drivers")
+	}
+}
+
+func TestValidateUndrivenOutput(t *testing.T) {
+	n := New("uo")
+	n.AddInput("a", 1)
+	ghost := n.NewNet()
+	n.AddOutput("o", []NetID{ghost})
+	if err := n.Validate(); err == nil {
+		t.Fatal("Validate accepted undriven output")
+	}
+}
+
+func TestValidateUndrivenFFD(t *testing.T) {
+	n := New("ff")
+	d := n.NewNet()
+	q := n.NewNet()
+	n.AddFF(d, q, false)
+	n.AddOutput("o", []NetID{q})
+	if err := n.Validate(); err == nil {
+		t.Fatal("Validate accepted undriven flip-flop D pin")
+	}
+}
+
+func TestFlipFlopBreaksCycle(t *testing.T) {
+	// q feeds back through an inverter into its own D: a T-flip-flop.
+	// The flip-flop cut makes this acyclic.
+	n := New("toggle")
+	q := n.NewNet()
+	d := n.AddGate(Not, q)
+	n.AddFF(d, q, false)
+	n.AddOutput("o", []NetID{q})
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	lev, err := n.Levelize()
+	if err != nil {
+		t.Fatalf("Levelize: %v", err)
+	}
+	if lev.Depth != 1 {
+		t.Errorf("depth = %d, want 1", lev.Depth)
+	}
+}
+
+func TestCombInputsOutputs(t *testing.T) {
+	n := New("seq")
+	a := n.AddInput("a", 2)
+	q := n.NewNet()
+	d := n.AddGate(And, a[0], a[1])
+	n.AddFF(d, q, false)
+	o := n.AddGate(Or, q, a[0])
+	n.AddOutput("o", []NetID{o})
+
+	ci := n.CombInputs()
+	want := map[NetID]bool{ConstZero: true, ConstOne: true, a[0]: true, a[1]: true, q: true}
+	if len(ci) != len(want) {
+		t.Fatalf("CombInputs = %v", ci)
+	}
+	for _, id := range ci {
+		if !want[id] {
+			t.Errorf("unexpected comb input %d", id)
+		}
+	}
+	co := n.CombOutputs()
+	wantOut := map[NetID]bool{o: true, d: true}
+	if len(co) != len(wantOut) {
+		t.Fatalf("CombOutputs = %v", co)
+	}
+	for _, id := range co {
+		if !wantOut[id] {
+			t.Errorf("unexpected comb output %d", id)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	n, _ := buildFullAdder(t)
+	s := n.ComputeStats()
+	if s.Gates != 5 || s.FFs != 0 || s.GateCount != 5 {
+		t.Errorf("stats gates=%d ffs=%d total=%d", s.Gates, s.FFs, s.GateCount)
+	}
+	if s.Inputs != 3 || s.Outputs != 2 {
+		t.Errorf("stats in=%d out=%d", s.Inputs, s.Outputs)
+	}
+	if s.Depth != 3 {
+		t.Errorf("stats depth=%d", s.Depth)
+	}
+	if s.ByKind[Xor] != 2 || s.ByKind[And] != 2 || s.ByKind[Or] != 1 {
+		t.Errorf("stats by kind: %v", s.ByKind)
+	}
+	if s.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+// evalComb computes the value of every net of a purely combinational
+// netlist under the given primary-input assignment. Used as a test oracle.
+func evalComb(t *testing.T, n *Netlist, inputs map[NetID]bool) []bool {
+	t.Helper()
+	lev, err := n.Levelize()
+	if err != nil {
+		t.Fatalf("Levelize: %v", err)
+	}
+	vals := make([]bool, n.NumNets())
+	vals[ConstOne] = true
+	for id, v := range inputs {
+		vals[id] = v
+	}
+	var inBuf [3]bool
+	for _, gi := range lev.Order {
+		g := &n.Gates[gi]
+		for i, in := range g.Inputs() {
+			inBuf[i] = vals[in]
+		}
+		vals[g.Out] = g.Kind.Eval(inBuf[:g.Kind.Arity()])
+	}
+	return vals
+}
+
+func TestFullAdderTruth(t *testing.T) {
+	n, in := buildFullAdder(t)
+	sum := n.FindOutput("sum").Bits[0]
+	cout := n.FindOutput("cout").Bits[0]
+	for p := 0; p < 8; p++ {
+		a, b, c := p&1 == 1, p>>1&1 == 1, p>>2&1 == 1
+		vals := evalComb(t, n, map[NetID]bool{in[0]: a, in[1]: b, in[2]: c})
+		cnt := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				cnt++
+			}
+		}
+		if vals[sum] != (cnt%2 == 1) {
+			t.Errorf("sum(%v,%v,%v) = %v", a, b, c, vals[sum])
+		}
+		if vals[cout] != (cnt >= 2) {
+			t.Errorf("cout(%v,%v,%v) = %v", a, b, c, vals[cout])
+		}
+	}
+}
+
+func TestOptimizeConstFold(t *testing.T) {
+	n := New("fold")
+	a := n.AddInput("a", 1)[0]
+	// (a AND 1) OR (a AND 0) == a
+	x := n.AddGate(And, a, ConstOne)
+	y := n.AddGate(And, a, ConstZero)
+	o := n.AddGate(Or, x, y)
+	n.AddOutput("o", []NetID{o})
+	res, err := n.Optimize()
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.GatesAfter != 0 {
+		t.Errorf("expected full fold, %d gates remain (%+v)", res.GatesAfter, res)
+	}
+	if got := n.FindOutput("o").Bits[0]; got != a {
+		t.Errorf("output rewired to %d, want input net %d", got, a)
+	}
+}
+
+func TestOptimizeDedup(t *testing.T) {
+	n := New("dedup")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	x := n.AddGate(And, a, b)
+	y := n.AddGate(And, b, a) // commutative duplicate
+	o := n.AddGate(Xor, x, y) // x == y after dedup -> folds to 0
+	n.AddOutput("o", []NetID{o})
+	res, err := n.Optimize()
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.GatesAfter != 0 {
+		t.Errorf("gates after = %d, want 0 (%+v)", res.GatesAfter, res)
+	}
+	if got := n.FindOutput("o").Bits[0]; got != ConstZero {
+		t.Errorf("output = %d, want const zero", got)
+	}
+}
+
+func TestOptimizeDeadCode(t *testing.T) {
+	n := New("dead")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	n.AddGate(Xor, a, b) // unused
+	o := n.AddGate(And, a, b)
+	n.AddOutput("o", []NetID{o})
+	res, err := n.Optimize()
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Dead != 1 || res.GatesAfter != 1 {
+		t.Errorf("dead=%d after=%d, want 1/1", res.Dead, res.GatesAfter)
+	}
+}
+
+// Property: Optimize preserves the function of a random combinational
+// netlist on random inputs.
+func TestOptimizePreservesFunction(t *testing.T) {
+	type seedCase struct {
+		Seed  int64
+		Probe uint64
+	}
+	f := func(c seedCase) bool {
+		n, ins := randomComb(c.Seed, 6, 40)
+		outs := n.FindOutput("o").Bits
+		assign := make(map[NetID]bool)
+		for i, in := range ins {
+			assign[in] = c.Probe>>uint(i)&1 == 1
+		}
+		before := evalComb(t, n, assign)
+		wantVals := make([]bool, len(outs))
+		for i, o := range outs {
+			wantVals[i] = before[o]
+		}
+		if _, err := n.Optimize(); err != nil {
+			t.Logf("Optimize: %v", err)
+			return false
+		}
+		after := evalComb(t, n, assign)
+		outs = n.FindOutput("o").Bits
+		for i, o := range outs {
+			if after[o] != wantVals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomComb builds a pseudo-random combinational netlist with nIn inputs
+// and nGates gates; the last min(8, nGates) gate outputs form port "o".
+func randomComb(seed int64, nIn, nGates int) (*Netlist, []NetID) {
+	n := New("rand")
+	rng := seed
+	next := func(mod int) int {
+		// xorshift64
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if rng < 0 {
+			rng = -rng
+		}
+		if mod <= 0 {
+			return 0
+		}
+		return int(rng % int64(mod))
+	}
+	if seed == 0 {
+		rng = 1
+	}
+	ins := n.AddInput("in", nIn)
+	pool := append([]NetID{ConstZero, ConstOne}, ins...)
+	for i := 0; i < nGates; i++ {
+		kind := GateKind(next(int(numGateKinds)))
+		args := make([]NetID, kind.Arity())
+		for j := range args {
+			args[j] = pool[next(len(pool))]
+		}
+		pool = append(pool, n.AddGate(kind, args...))
+	}
+	nOut := 8
+	if nGates < nOut {
+		nOut = nGates
+	}
+	n.AddOutput("o", pool[len(pool)-nOut:])
+	return n, ins
+}

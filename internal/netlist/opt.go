@@ -1,0 +1,238 @@
+package netlist
+
+// OptResult reports the effect of an optimisation pass.
+type OptResult struct {
+	GatesBefore int
+	GatesAfter  int
+	Folded      int // gates removed by constant folding / identities
+	Deduped     int // gates removed by structural hashing
+	Dead        int // gates removed as unreachable from outputs
+}
+
+type gateKey struct {
+	kind    GateKind
+	a, b, c NetID
+}
+
+// Optimize simplifies the combinational core in place: constant folding,
+// algebraic identities (x AND x = x, x XOR x = 0, BUF chains, double
+// negation, mux with constant select, ...), structural hashing of
+// identical gates, and dead-gate elimination. Port and flip-flop nets are
+// preserved. The pass keeps the netlist functionally identical; it exists
+// because bit-blasting during synthesis produces many trivially
+// redundant gates, and a smaller netlist means a smaller AIG, fewer LUTs
+// and ultimately a smaller neural network.
+func (n *Netlist) Optimize() (OptResult, error) {
+	res := OptResult{GatesBefore: len(n.Gates)}
+	lev, err := n.Levelize()
+	if err != nil {
+		return res, err
+	}
+
+	// repl maps a net to its canonical replacement.
+	repl := make([]NetID, n.numNets)
+	for i := range repl {
+		repl[i] = NetID(i)
+	}
+	resolve := func(id NetID) NetID {
+		for repl[id] != id {
+			repl[id] = repl[repl[id]] // path halving
+			id = repl[id]
+		}
+		return id
+	}
+
+	hash := make(map[gateKey]NetID, len(n.Gates))
+	kept := make([]Gate, 0, len(n.Gates))
+
+	for _, gi := range lev.Order {
+		g := n.Gates[gi]
+		var in [3]NetID
+		for i, x := range g.Inputs() {
+			in[i] = resolve(x)
+		}
+		out, folded := foldGate(g.Kind, in)
+		if folded {
+			repl[g.Out] = out
+			res.Folded++
+			continue
+		}
+		// Canonicalise commutative gate input order for hashing.
+		key := gateKey{kind: g.Kind, a: in[0], b: in[1], c: in[2]}
+		switch g.Kind {
+		case And, Or, Xor, Nand, Nor, Xnor:
+			if key.a > key.b {
+				key.a, key.b = key.b, key.a
+			}
+		}
+		if prev, ok := hash[key]; ok {
+			repl[g.Out] = prev
+			res.Deduped++
+			continue
+		}
+		hash[key] = g.Out
+		ng := Gate{Kind: g.Kind, Out: g.Out}
+		copy(ng.In[:], in[:g.Kind.Arity()])
+		kept = append(kept, ng)
+	}
+
+	// Rewrite port and flip-flop references through the replacement map.
+	for pi := range n.Outputs {
+		for bi, b := range n.Outputs[pi].Bits {
+			n.Outputs[pi].Bits[bi] = resolve(b)
+		}
+	}
+	for fi := range n.FFs {
+		n.FFs[fi].D = resolve(n.FFs[fi].D)
+		// Q pins are drivers, never replaced.
+	}
+
+	// Dead-gate elimination: walk back from combinational outputs.
+	drvOf := make(map[NetID]int32, len(kept))
+	for i := range kept {
+		drvOf[kept[i].Out] = int32(i)
+	}
+	live := make([]bool, len(kept))
+	var stack []NetID
+	stack = append(stack, n.CombOutputs()...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		gi, ok := drvOf[id]
+		if !ok || live[gi] {
+			continue
+		}
+		live[gi] = true
+		stack = append(stack, kept[gi].Inputs()...)
+	}
+	final := kept[:0]
+	for i := range kept {
+		if live[i] {
+			final = append(final, kept[i])
+		} else {
+			res.Dead++
+		}
+	}
+	n.Gates = final
+	res.GatesAfter = len(n.Gates)
+	return res, nil
+}
+
+// foldGate applies constant folding and algebraic identities. It returns
+// the replacement net and true when the gate can be removed.
+func foldGate(kind GateKind, in [3]NetID) (NetID, bool) {
+	isC := func(id NetID) bool { return id == ConstZero || id == ConstOne }
+	val := func(id NetID) bool { return id == ConstOne }
+
+	switch kind {
+	case Buf:
+		return in[0], true
+	case Not:
+		if isC(in[0]) {
+			if val(in[0]) {
+				return ConstZero, true
+			}
+			return ConstOne, true
+		}
+	case And, Nand:
+		a, b := in[0], in[1]
+		neg := kind == Nand
+		if isC(a) || isC(b) || a == b {
+			var r NetID
+			switch {
+			case isC(a) && isC(b):
+				r = boolNet(val(a) && val(b))
+			case isC(a) && !val(a), isC(b) && !val(b):
+				r = ConstZero
+			case isC(a) && val(a):
+				r = b
+			case isC(b) && val(b):
+				r = a
+			default: // a == b
+				r = a
+			}
+			if neg {
+				return negNet(r)
+			}
+			return r, true
+		}
+	case Or, Nor:
+		a, b := in[0], in[1]
+		neg := kind == Nor
+		if isC(a) || isC(b) || a == b {
+			var r NetID
+			switch {
+			case isC(a) && isC(b):
+				r = boolNet(val(a) || val(b))
+			case isC(a) && val(a), isC(b) && val(b):
+				r = ConstOne
+			case isC(a) && !val(a):
+				r = b
+			case isC(b) && !val(b):
+				r = a
+			default:
+				r = a
+			}
+			if neg {
+				return negNet(r)
+			}
+			return r, true
+		}
+	case Xor, Xnor:
+		a, b := in[0], in[1]
+		neg := kind == Xnor
+		if a == b {
+			if neg {
+				return ConstOne, true
+			}
+			return ConstZero, true
+		}
+		if isC(a) && isC(b) {
+			r := boolNet(val(a) != val(b))
+			if neg {
+				return negNet(r)
+			}
+			return r, true
+		}
+		// XOR with constant 0 is a buffer; with constant 1 it is NOT,
+		// which is not removable without allocating a gate, so only the
+		// zero cases fold.
+		if isC(a) && !val(a) != neg {
+			return b, true
+		}
+		if isC(b) && !val(b) != neg {
+			return a, true
+		}
+	case Mux:
+		s, d0, d1 := in[0], in[1], in[2]
+		if isC(s) {
+			if val(s) {
+				return d1, true
+			}
+			return d0, true
+		}
+		if d0 == d1 {
+			return d0, true
+		}
+	}
+	return InvalidNet, false
+}
+
+func boolNet(v bool) NetID {
+	if v {
+		return ConstOne
+	}
+	return ConstZero
+}
+
+// negNet folds NOT over a constant; for non-constants it reports the
+// gate as non-foldable.
+func negNet(id NetID) (NetID, bool) {
+	switch id {
+	case ConstZero:
+		return ConstOne, true
+	case ConstOne:
+		return ConstZero, true
+	}
+	return InvalidNet, false
+}

@@ -1,0 +1,85 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarises the size and shape of a netlist.
+type Stats struct {
+	Name       string
+	Nets       int
+	Gates      int
+	FFs        int
+	GateCount  int // gates + FFs, the Table I "Gates" metric
+	Inputs     int // input bits
+	Outputs    int // output bits
+	Depth      int // combinational depth in gate levels
+	ByKind     map[GateKind]int
+	MaxFanin   int
+	MaxFanout  int
+	MeanFanout float64
+}
+
+// ComputeStats gathers netlist statistics. It panics if the netlist is
+// cyclic; call Validate first for untrusted inputs.
+func (n *Netlist) ComputeStats() Stats {
+	s := Stats{
+		Name:      n.Name,
+		Nets:      n.numNets,
+		Gates:     len(n.Gates),
+		FFs:       len(n.FFs),
+		GateCount: n.GateCount(),
+		Inputs:    n.InputBits(),
+		Outputs:   n.OutputBits(),
+		ByKind:    make(map[GateKind]int),
+	}
+	fanout := make([]int, n.numNets)
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		s.ByKind[g.Kind]++
+		ar := g.Kind.Arity()
+		if ar > s.MaxFanin {
+			s.MaxFanin = ar
+		}
+		for _, in := range g.Inputs() {
+			fanout[in]++
+		}
+	}
+	for fi := range n.FFs {
+		fanout[n.FFs[fi].D]++
+	}
+	total := 0
+	for _, f := range fanout {
+		total += f
+		if f > s.MaxFanout {
+			s.MaxFanout = f
+		}
+	}
+	if n.numNets > 0 {
+		s.MeanFanout = float64(total) / float64(n.numNets)
+	}
+	lev, err := n.Levelize()
+	if err != nil {
+		panic("netlist: ComputeStats on invalid netlist: " + err.Error())
+	}
+	s.Depth = int(lev.Depth)
+	return s
+}
+
+// String renders the statistics as a short human-readable block.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netlist %q: %d nets, %d gates + %d FFs (%d total), %d in / %d out bits, depth %d\n",
+		s.Name, s.Nets, s.Gates, s.FFs, s.GateCount, s.Inputs, s.Outputs, s.Depth)
+	kinds := make([]GateKind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-5s %d\n", k, s.ByKind[k])
+	}
+	return b.String()
+}

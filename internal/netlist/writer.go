@@ -1,0 +1,229 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog emits the netlist as flat structural Verilog-2005: one
+// continuous assignment per gate and one always block per flip-flop,
+// with a single `clk` input appended for sequential designs. The output
+// is valid input for this repository's own frontend (round-tripping is
+// tested) and for external tools.
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	var b strings.Builder
+
+	name := sanitizeIdent(n.Name)
+	fmt.Fprintf(&b, "// Structural netlist emitted by c2nn (%d gates, %d FFs).\n", len(n.Gates), len(n.FFs))
+	fmt.Fprintf(&b, "module %s (\n", name)
+
+	type portDecl struct {
+		dir   string
+		name  string
+		width int
+	}
+	var ports []portDecl
+	used := map[string]bool{}
+	for i := range n.Inputs {
+		p := &n.Inputs[i]
+		pn := sanitizeIdent(p.Name)
+		ports = append(ports, portDecl{"input", pn, p.Width()})
+		used[pn] = true
+	}
+	addedClk := false
+	if len(n.FFs) > 0 && !used["clk"] {
+		ports = append(ports, portDecl{"input", "clk", 1})
+		used["clk"] = true
+		addedClk = true
+	}
+	for i := range n.Outputs {
+		p := &n.Outputs[i]
+		pn := sanitizeIdent(p.Name)
+		if used[pn] {
+			pn = pn + "_o"
+		}
+		ports = append(ports, portDecl{"output", pn, p.Width()})
+		used[pn] = true
+	}
+	for i, p := range ports {
+		sep := ","
+		if i == len(ports)-1 {
+			sep = ""
+		}
+		if p.width == 1 {
+			fmt.Fprintf(&b, "    %-6s wire %s%s\n", p.dir, p.name, sep)
+		} else {
+			fmt.Fprintf(&b, "    %-6s wire [%d:0] %s%s\n", p.dir, p.width-1, p.name, sep)
+		}
+	}
+	b.WriteString(");\n\n")
+
+	// Net naming: ports keep their bit names, everything else is n<id>.
+	netName := make(map[NetID]string, n.numNets)
+	netName[ConstZero] = "1'b0"
+	netName[ConstOne] = "1'b1"
+	bindPort := func(p *Port, name string) {
+		for i, bit := range p.Bits {
+			if p.Width() == 1 {
+				netName[bit] = name
+			} else {
+				netName[bit] = fmt.Sprintf("%s[%d]", name, i)
+			}
+		}
+	}
+	pi := 0
+	for i := range n.Inputs {
+		bindPort(&n.Inputs[i], ports[pi].name)
+		pi++
+	}
+	if addedClk {
+		pi++ // skip the synthesised clk port
+	}
+	nameOf := func(id NetID) string {
+		if s, ok := netName[id]; ok {
+			return s
+		}
+		s := fmt.Sprintf("n%d", id)
+		netName[id] = s
+		return s
+	}
+	isFF := make(map[NetID]bool, len(n.FFs))
+	for i := range n.FFs {
+		isFF[n.FFs[i].Q] = true
+	}
+	// Output ports may alias internal nets that already have names (an
+	// output wired to an input) or flip-flop Q pins (which must stay
+	// regs driven by the always block); emit assigns for those instead
+	// of binding the port name to the net.
+	type outAlias struct{ port, src string }
+	var aliases []outAlias
+	portBound := make(map[NetID]bool)
+	for i := range n.Inputs {
+		for _, bit := range n.Inputs[i].Bits {
+			portBound[bit] = true
+		}
+	}
+	for i := range n.Outputs {
+		p := &n.Outputs[i]
+		pname := ports[pi].name
+		pi++
+		for bi, bit := range p.Bits {
+			ref := pname
+			if p.Width() > 1 {
+				ref = fmt.Sprintf("%s[%d]", pname, bi)
+			}
+			_, named := netName[bit]
+			if named || isFF[bit] {
+				aliases = append(aliases, outAlias{port: ref, src: nameOf(bit)})
+			} else {
+				netName[bit] = ref
+				portBound[bit] = true
+			}
+		}
+	}
+
+	// Declarations for internal nets.
+	var wires, regs []string
+	seen := map[NetID]bool{}
+	collect := func(id NetID) {
+		if id == ConstZero || id == ConstOne || portBound[id] || seen[id] {
+			return
+		}
+		seen[id] = true
+		if isFF[id] {
+			regs = append(regs, nameOf(id))
+		} else {
+			wires = append(wires, nameOf(id))
+		}
+	}
+	for gi := range n.Gates {
+		collect(n.Gates[gi].Out)
+		for _, in := range n.Gates[gi].Inputs() {
+			collect(in)
+		}
+	}
+	for i := range n.FFs {
+		collect(n.FFs[i].Q)
+		collect(n.FFs[i].D)
+	}
+	sort.Strings(wires)
+	sort.Strings(regs)
+	for _, wn := range wires {
+		fmt.Fprintf(&b, "  wire %s;\n", wn)
+	}
+	for _, rn := range regs {
+		fmt.Fprintf(&b, "  reg %s;\n", rn)
+	}
+	if len(wires)+len(regs) > 0 {
+		b.WriteString("\n")
+	}
+
+	// Gates.
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		out := nameOf(g.Out)
+		in := g.Inputs()
+		switch g.Kind {
+		case Buf:
+			fmt.Fprintf(&b, "  assign %s = %s;\n", out, nameOf(in[0]))
+		case Not:
+			fmt.Fprintf(&b, "  assign %s = ~%s;\n", out, nameOf(in[0]))
+		case And:
+			fmt.Fprintf(&b, "  assign %s = %s & %s;\n", out, nameOf(in[0]), nameOf(in[1]))
+		case Or:
+			fmt.Fprintf(&b, "  assign %s = %s | %s;\n", out, nameOf(in[0]), nameOf(in[1]))
+		case Xor:
+			fmt.Fprintf(&b, "  assign %s = %s ^ %s;\n", out, nameOf(in[0]), nameOf(in[1]))
+		case Nand:
+			fmt.Fprintf(&b, "  assign %s = ~(%s & %s);\n", out, nameOf(in[0]), nameOf(in[1]))
+		case Nor:
+			fmt.Fprintf(&b, "  assign %s = ~(%s | %s);\n", out, nameOf(in[0]), nameOf(in[1]))
+		case Xnor:
+			fmt.Fprintf(&b, "  assign %s = ~(%s ^ %s);\n", out, nameOf(in[0]), nameOf(in[1]))
+		case Mux:
+			fmt.Fprintf(&b, "  assign %s = %s ? %s : %s;\n",
+				out, nameOf(in[0]), nameOf(in[2]), nameOf(in[1]))
+		default:
+			return fmt.Errorf("netlist: cannot emit gate kind %s", g.Kind)
+		}
+	}
+
+	// Flip-flops.
+	if len(n.FFs) > 0 {
+		b.WriteString("\n  always @(posedge clk) begin\n")
+		for i := range n.FFs {
+			ff := &n.FFs[i]
+			fmt.Fprintf(&b, "    %s <= %s;\n", nameOf(ff.Q), nameOf(ff.D))
+		}
+		b.WriteString("  end\n")
+	}
+
+	// Output aliases.
+	for _, a := range aliases {
+		fmt.Fprintf(&b, "  assign %s = %s;\n", a.port, a.src)
+	}
+
+	b.WriteString("endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeIdent maps arbitrary names onto Verilog identifiers.
+func sanitizeIdent(s string) string {
+	if s == "" {
+		return "top"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

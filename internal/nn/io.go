@@ -1,0 +1,312 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"c2nn/internal/tensor"
+)
+
+// Binary model format (the stand-in for the stored PyTorch module of
+// Fig. 1): little-endian, length-prefixed sections.
+const (
+	magic   = 0x43324E4E // "C2NN"
+	version = 1
+)
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Save writes the model. It returns the number of bytes written (the
+// Table I "Memory" column measures this file).
+func (m *Model) Save(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	le := binary.LittleEndian
+
+	wu32 := func(v uint32) { binary.Write(bw, le, v) }
+	wi32 := func(v int32) { binary.Write(bw, le, v) }
+	wstr := func(s string) {
+		wu32(uint32(len(s)))
+		bw.WriteString(s)
+	}
+	wi32s := func(v []int32) {
+		wu32(uint32(len(v)))
+		binary.Write(bw, le, v)
+	}
+	wf32s := func(v []float32) {
+		wu32(uint32(len(v)))
+		binary.Write(bw, le, v)
+	}
+
+	wu32(magic)
+	wu32(version)
+	wstr(m.CircuitName)
+	wi32(int32(m.L))
+	binary.Write(bw, le, m.GateCount)
+	wu32(boolU32(m.Merged))
+
+	n := m.Net
+	wi32(int32(n.NumPIs))
+	wi32(int32(n.TotalUnits))
+	wu32(uint32(len(n.Layers)))
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		wi32(n.SegStart[i])
+		wu32(boolU32(l.Threshold))
+		wi32(int32(l.W.Rows))
+		wi32(int32(l.W.Cols))
+		wi32s(l.W.RowPtr)
+		wi32s(l.W.Col)
+		wf32s(l.W.Val)
+		wf32s(l.Bias)
+	}
+
+	wports := func(ports []PortMap) {
+		wu32(uint32(len(ports)))
+		for _, p := range ports {
+			wstr(p.Name)
+			wi32s(p.Units)
+		}
+	}
+	wports(m.Inputs)
+	wports(m.Outputs)
+
+	wu32(uint32(len(m.Feedback)))
+	for _, f := range m.Feedback {
+		wi32(f.FromUnit)
+		wi32(f.ToPI)
+		wu32(boolU32(f.Init))
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+func boolU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+
+	var firstErr error
+	ru32 := func() uint32 {
+		var v uint32
+		if err := binary.Read(br, le, &v); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return v
+	}
+	ri32 := func() int32 { return int32(ru32()) }
+	rstr := func() string {
+		n := ru32()
+		if firstErr != nil || n > 1<<20 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("nn: unreasonable string length %d", n)
+			}
+			return ""
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return string(buf)
+	}
+	const maxElems = 1 << 28
+	ri32s := func() []int32 {
+		n := ru32()
+		if firstErr != nil || n > maxElems {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("nn: unreasonable array length %d", n)
+			}
+			return nil
+		}
+		v := make([]int32, n)
+		if err := binary.Read(br, le, v); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return v
+	}
+	rf32s := func() []float32 {
+		n := ru32()
+		if firstErr != nil || n > maxElems {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("nn: unreasonable array length %d", n)
+			}
+			return nil
+		}
+		if n == 0 {
+			return nil
+		}
+		v := make([]float32, n)
+		if err := binary.Read(br, le, v); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return v
+	}
+
+	if ru32() != magic {
+		return nil, fmt.Errorf("nn: bad magic (not a C2NN model file)")
+	}
+	if v := ru32(); v != version {
+		return nil, fmt.Errorf("nn: unsupported model version %d", v)
+	}
+	m := &Model{}
+	m.CircuitName = rstr()
+	m.L = int(ri32())
+	if err := binary.Read(br, le, &m.GateCount); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	m.Merged = ru32() == 1
+
+	n := &Network{}
+	n.NumPIs = int(ri32())
+	n.TotalUnits = int(ri32())
+	numLayers := ru32()
+	if numLayers > 1<<24 {
+		return nil, fmt.Errorf("nn: unreasonable layer count %d", numLayers)
+	}
+	for i := uint32(0); i < numLayers; i++ {
+		seg := ri32()
+		thr := ru32() == 1
+		rows := int(ri32())
+		cols := int(ri32())
+		w := &struct {
+			RowPtr []int32
+			Col    []int32
+			Val    []float32
+		}{ri32s(), ri32s(), rf32s()}
+		bias := rf32s()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		layer := Layer{Threshold: thr, Bias: bias}
+		layer.W = &tensor.CSR{Rows: rows, Cols: cols, RowPtr: w.RowPtr, Col: w.Col, Val: w.Val}
+		if layer.W.Val == nil {
+			layer.W.Val = []float32{}
+		}
+		n.Layers = append(n.Layers, layer)
+		n.SegStart = append(n.SegStart, seg)
+	}
+
+	rports := func() []PortMap {
+		cnt := ru32()
+		if cnt > 1<<20 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("nn: unreasonable port count %d", cnt)
+			}
+			return nil
+		}
+		out := make([]PortMap, 0, cnt)
+		for i := uint32(0); i < cnt; i++ {
+			out = append(out, PortMap{Name: rstr(), Units: ri32s()})
+		}
+		return out
+	}
+	m.Inputs = rports()
+	m.Outputs = rports()
+	fbCnt := ru32()
+	if fbCnt > 1<<24 {
+		return nil, fmt.Errorf("nn: unreasonable feedback count %d", fbCnt)
+	}
+	for i := uint32(0); i < fbCnt; i++ {
+		m.Feedback = append(m.Feedback, Feedback{
+			FromUnit: ri32(), ToPI: ri32(), Init: ru32() == 1,
+		})
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	m.Net = n
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to a path and returns the file size.
+func (m *Model) SaveFile(path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := m.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// LoadFile reads a model from a path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// MemoryBytes reports the serialised model size without writing it out.
+// It mirrors Save byte for byte (pinned by TestMemoryBytesMatchesSave).
+func (m *Model) MemoryBytes() int64 {
+	var n int64
+	str := func(s string) { n += 4 + int64(len(s)) }
+	arr := func(elems int) { n += 4 + 4*int64(elems) }
+
+	n += 4 + 4 // magic, version
+	str(m.CircuitName)
+	n += 4 + 8 + 4 // L, gateCount, merged
+
+	n += 4 + 4 + 4 // numPIs, totalUnits, layer count
+	for i := range m.Net.Layers {
+		l := &m.Net.Layers[i]
+		n += 4 + 4 + 4 + 4 // segStart, threshold, rows, cols
+		arr(len(l.W.RowPtr))
+		arr(len(l.W.Col))
+		arr(len(l.W.Val))
+		arr(len(l.Bias))
+	}
+	for _, ports := range [][]PortMap{m.Inputs, m.Outputs} {
+		n += 4
+		for _, p := range ports {
+			str(p.Name)
+			arr(len(p.Units))
+		}
+	}
+	n += 4 + 12*int64(len(m.Feedback))
+	return n
+}
+
+// Guard against NaN weights sneaking in (would break the exactness
+// argument of §III-E).
+func (m *Model) CheckFinite() error {
+	for li := range m.Net.Layers {
+		l := &m.Net.Layers[li]
+		for _, v := range l.W.Val {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return fmt.Errorf("nn: non-finite weight in layer %d", li)
+			}
+		}
+	}
+	return nil
+}

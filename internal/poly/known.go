@@ -1,0 +1,80 @@
+package poly
+
+import "math/bits"
+
+// This file implements the polynomial library for known functions that
+// the paper proposes as future work (§V): for macro operations the
+// multi-linear polynomial is written down directly instead of being
+// recovered from an exhaustively enumerated truth table, which lifts the
+// exponential-in-L cost for exactly the functions whose polynomials are
+// simple. The §V example: a 9-input AND is the single monomial
+// x1·x2·…·x9, no matter what LUT size the mapper was run with.
+
+// AndPoly returns the polynomial of the n-input AND: one monomial over
+// all variables.
+func AndPoly(n int) Poly {
+	if n == 0 {
+		return Poly{NumVars: 0, Terms: []Term{{Mask: 0, Coeff: 1}}}
+	}
+	return Poly{NumVars: n, Terms: []Term{{Mask: uint32(1<<uint(n)) - 1, Coeff: 1}}}
+}
+
+// OrPoly returns the polynomial of the n-input OR via
+// inclusion-exclusion: Σ_{∅≠S} (−1)^{|S|+1} Π_S x.
+func OrPoly(n int) Poly {
+	p := Poly{NumVars: n}
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		c := int32(1)
+		if bits.OnesCount32(mask)%2 == 0 {
+			c = -1
+		}
+		p.Terms = append(p.Terms, Term{Mask: mask, Coeff: c})
+	}
+	return p
+}
+
+// XorPoly returns the polynomial of the n-input XOR: the coefficient of
+// a size-k monomial is (−2)^{k−1}.
+func XorPoly(n int) Poly {
+	p := Poly{NumVars: n}
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		k := bits.OnesCount32(mask)
+		c := int32(1)
+		for i := 1; i < k; i++ {
+			c *= -2
+		}
+		p.Terms = append(p.Terms, Term{Mask: mask, Coeff: c})
+	}
+	return p
+}
+
+// NandPoly, NorPoly and XnorPoly are the complements (1 − p).
+func NandPoly(n int) Poly { return AndPoly(n).Negate() }
+
+// NorPoly returns the polynomial of the n-input NOR.
+func NorPoly(n int) Poly { return OrPoly(n).Negate() }
+
+// XnorPoly returns the polynomial of the n-input XNOR.
+func XnorPoly(n int) Poly { return XorPoly(n).Negate() }
+
+// MuxPoly returns the polynomial of the 2:1 multiplexer over variables
+// (sel, a, b) = (x0, x1, x2), computing sel ? b : a — that is
+// a + sel·b − sel·a.
+func MuxPoly() Poly {
+	return Poly{NumVars: 3, Terms: []Term{
+		{Mask: 0b010, Coeff: 1},  // a
+		{Mask: 0b011, Coeff: -1}, // -sel·a
+		{Mask: 0b101, Coeff: 1},  // +sel·b
+	}}
+}
+
+// MajPoly returns the polynomial of the 3-input majority function
+// MAJ(x,y,z) = xy + xz + yz − 2xyz.
+func MajPoly() Poly {
+	return Poly{NumVars: 3, Terms: []Term{
+		{Mask: 0b011, Coeff: 1},
+		{Mask: 0b101, Coeff: 1},
+		{Mask: 0b110, Coeff: 1},
+		{Mask: 0b111, Coeff: -2},
+	}}
+}

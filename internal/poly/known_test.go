@@ -1,0 +1,75 @@
+package poly
+
+import (
+	"testing"
+
+	"c2nn/internal/truthtab"
+)
+
+// Each library polynomial must match the table-derived polynomial
+// exactly, term for term.
+func TestKnownPolynomialsMatchTables(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		andTab := truthtab.Const(n, true)
+		orTab := truthtab.Const(n, false)
+		xorTab := truthtab.Const(n, false)
+		for v := 0; v < n; v++ {
+			andTab = andTab.And(truthtab.Var(n, v))
+			orTab = orTab.Or(truthtab.Var(n, v))
+			xorTab = xorTab.Xor(truthtab.Var(n, v))
+		}
+		cases := []struct {
+			name string
+			got  Poly
+			want truthtab.Table
+		}{
+			{"AND", AndPoly(n), andTab},
+			{"OR", OrPoly(n), orTab},
+			{"XOR", XorPoly(n), xorTab},
+			{"NAND", NandPoly(n), andTab.Not()},
+			{"NOR", NorPoly(n), orTab.Not()},
+			{"XNOR", XnorPoly(n), xorTab.Not()},
+		}
+		for _, c := range cases {
+			ref := FromTable(c.want)
+			if !equalPoly(c.got, ref) {
+				t.Errorf("%s(%d): library %v != table %v", c.name, n, c.got, ref)
+			}
+		}
+	}
+}
+
+func TestMuxMajPolys(t *testing.T) {
+	// MUX over (sel, a, b).
+	muxTab := truthtab.Mux(truthtab.Var(3, 0), truthtab.Var(3, 1), truthtab.Var(3, 2))
+	if !equalPoly(MuxPoly(), FromTable(muxTab)) {
+		t.Errorf("MUX: %v != %v", MuxPoly(), FromTable(muxTab))
+	}
+	// MAJ(x,y,z).
+	x, y, z := truthtab.Var(3, 0), truthtab.Var(3, 1), truthtab.Var(3, 2)
+	majTab := x.And(y).Or(x.And(z)).Or(y.And(z))
+	if !equalPoly(MajPoly(), FromTable(majTab)) {
+		t.Errorf("MAJ: %v != %v", MajPoly(), FromTable(majTab))
+	}
+}
+
+// The §V headline example: the 9-input AND is one monomial — sparsity
+// maximal, degree 9 — without ever materialising a 512-row table.
+func TestAnd9IsOneMonomial(t *testing.T) {
+	p := AndPoly(9)
+	if p.NumTerms() != 1 || p.Degree() != 9 {
+		t.Fatalf("AND9 = %v", p)
+	}
+}
+
+// Wide library polynomials stay usable far beyond table-friendly sizes:
+// AndPoly(24) is trivially constructed; a table would need 16M rows.
+func TestWideAndCheap(t *testing.T) {
+	p := AndPoly(24)
+	if p.NumTerms() != 1 {
+		t.Fatal("wide AND not one monomial")
+	}
+	if p.Eval(1<<24-1) != 1 || p.Eval(1<<23) != 0 {
+		t.Fatal("wide AND evaluates wrong")
+	}
+}

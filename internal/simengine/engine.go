@@ -1,0 +1,311 @@
+// Package simengine executes compiled neural-network models over
+// batches of stimuli — the stand-in for PyTorch-on-GPU in the paper's
+// evaluation (§IV). It exploits the same two parallelism axes:
+//
+//   - stimulus parallelism: a batch of B independent test vectors flows
+//     through every layer together (one SpMM instead of B SpMVs);
+//   - structural parallelism: each sparse layer product is partitioned
+//     row-wise across worker goroutines.
+//
+// Setting Batch=1, Workers=1 gives the sequential "CPU" curve of
+// Fig. 6 (bottom); large Batch with many workers is the "GPU" analogue
+// (Fig. 6 top and the Table I throughput column).
+//
+// The Float32 precision path mirrors the paper's float32 PyTorch
+// implementation (§III-E); the Int32 path implements the integer-kernel
+// improvement proposed in §V's future work.
+package simengine
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"c2nn/internal/nn"
+	"c2nn/internal/tensor"
+)
+
+// Precision selects the arithmetic of the forward pass.
+type Precision int
+
+// Precisions.
+const (
+	Float32 Precision = iota
+	Int32
+)
+
+// Options configures an engine.
+type Options struct {
+	// Batch is the number of stimuli evaluated per pass (default 1).
+	Batch int
+	// Workers is the goroutine count for row-parallel layer products
+	// (default GOMAXPROCS; 1 disables structural parallelism).
+	Workers int
+	// Precision selects float32 (paper baseline) or int32 kernels.
+	Precision Precision
+}
+
+// Engine runs a model over a fixed-size stimulus batch with persistent
+// flip-flop state per batch lane.
+type Engine struct {
+	model   *nn.Model
+	batch   int
+	workers int
+	prec    Precision
+
+	actsF []float32
+	actsI []int32
+	intW  []*tensor.Int32CSR
+}
+
+// New creates an engine for the model.
+func New(model *nn.Model, opts Options) (*Engine, error) {
+	if opts.Batch <= 0 {
+		opts.Batch = 1
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		model:   model,
+		batch:   opts.Batch,
+		workers: opts.Workers,
+		prec:    opts.Precision,
+	}
+	size := model.Net.TotalUnits * opts.Batch
+	switch opts.Precision {
+	case Float32:
+		e.actsF = make([]float32, size)
+	case Int32:
+		e.actsI = make([]int32, size)
+		e.intW = make([]*tensor.Int32CSR, len(model.Net.Layers))
+		for i := range model.Net.Layers {
+			e.intW[i] = model.Net.Layers[i].W.ToInt32()
+		}
+	default:
+		return nil, fmt.Errorf("simengine: unknown precision %d", opts.Precision)
+	}
+	e.Reset()
+	return e, nil
+}
+
+// Batch returns the configured batch size.
+func (e *Engine) Batch() int { return e.batch }
+
+// Model returns the compiled model.
+func (e *Engine) Model() *nn.Model { return e.model }
+
+// Reset clears all activations and restores flip-flop initial state in
+// every lane.
+func (e *Engine) Reset() {
+	for i := range e.actsF {
+		e.actsF[i] = 0
+	}
+	for i := range e.actsI {
+		e.actsI[i] = 0
+	}
+	e.lane(nn.ConstUnit, func(row []float32, irow []int32) {
+		for b := 0; b < e.batch; b++ {
+			if row != nil {
+				row[b] = 1
+			} else {
+				irow[b] = 1
+			}
+		}
+	})
+	for _, fb := range e.model.Feedback {
+		if !fb.Init {
+			continue
+		}
+		e.lane(fb.ToPI, func(row []float32, irow []int32) {
+			for b := 0; b < e.batch; b++ {
+				if row != nil {
+					row[b] = 1
+				} else {
+					irow[b] = 1
+				}
+			}
+		})
+	}
+}
+
+// lane hands the activation row of one unit to fn (exactly one of the
+// two slices is non-nil, matching the precision).
+func (e *Engine) lane(unit int32, fn func(frow []float32, irow []int32)) {
+	lo := int(unit) * e.batch
+	hi := lo + e.batch
+	if e.prec == Float32 {
+		fn(e.actsF[lo:hi], nil)
+	} else {
+		fn(nil, e.actsI[lo:hi])
+	}
+}
+
+// SetInput loads an input port: values[b] is the port value for batch
+// lane b (LSB-first bit order). Missing lanes read as zero.
+func (e *Engine) SetInput(name string, values []uint64) error {
+	pm := e.model.FindInput(name)
+	if pm == nil {
+		return fmt.Errorf("simengine: no input port %q", name)
+	}
+	for i, unit := range pm.Units {
+		bit := uint(i)
+		e.lane(unit, func(row []float32, irow []int32) {
+			for b := 0; b < e.batch; b++ {
+				var v uint64
+				if b < len(values) {
+					v = values[b]
+				}
+				on := bit < 64 && v>>bit&1 == 1
+				if row != nil {
+					if on {
+						row[b] = 1
+					} else {
+						row[b] = 0
+					}
+				} else {
+					if on {
+						irow[b] = 1
+					} else {
+						irow[b] = 0
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// SetInputUniform loads the same value into all lanes.
+func (e *Engine) SetInputUniform(name string, value uint64) error {
+	vals := make([]uint64, e.batch)
+	for i := range vals {
+		vals[i] = value
+	}
+	return e.SetInput(name, vals)
+}
+
+// Forward runs one combinational pass: every layer's SpMM (batched,
+// row-parallel) followed by its threshold.
+func (e *Engine) Forward() {
+	net := e.model.Net
+	for li := range net.Layers {
+		l := &net.Layers[li]
+		seg := int(net.SegStart[li]) * e.batch
+		rows := l.W.Rows
+		if e.prec == Float32 {
+			out := e.actsF[seg : seg+rows*e.batch]
+			l.W.MulBatchParallel(e.actsF[:l.W.Cols*e.batch], e.batch, out, e.workers)
+			if l.Threshold {
+				for r := 0; r < rows; r++ {
+					bias := l.Bias[r]
+					or := out[r*e.batch : (r+1)*e.batch]
+					for b := range or {
+						if or[b]-bias > 0 {
+							or[b] = 1
+						} else {
+							or[b] = 0
+						}
+					}
+				}
+			}
+		} else {
+			out := e.actsI[seg : seg+rows*e.batch]
+			e.intW[li].MulBatchParallel(e.actsI[:l.W.Cols*e.batch], e.batch, out, e.workers)
+			if l.Threshold {
+				for r := 0; r < rows; r++ {
+					bias := int32(l.Bias[r])
+					or := out[r*e.batch : (r+1)*e.batch]
+					for b := range or {
+						if or[b]-bias > 0 {
+							or[b] = 1
+						} else {
+							or[b] = 0
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// LatchFeedback copies every flip-flop D value back to its Q input slot
+// (the recurrent pseudo-I/O connection of §III-C).
+func (e *Engine) LatchFeedback() {
+	for _, fb := range e.model.Feedback {
+		src := int(fb.FromUnit) * e.batch
+		dst := int(fb.ToPI) * e.batch
+		if e.prec == Float32 {
+			copy(e.actsF[dst:dst+e.batch], e.actsF[src:src+e.batch])
+		} else {
+			copy(e.actsI[dst:dst+e.batch], e.actsI[src:src+e.batch])
+		}
+	}
+}
+
+// Step runs one full clock cycle: Forward then LatchFeedback.
+func (e *Engine) Step() {
+	e.Forward()
+	e.LatchFeedback()
+}
+
+// GetOutput reads an output port across lanes (values as set by the
+// last Forward).
+func (e *Engine) GetOutput(name string) ([]uint64, error) {
+	pm := e.model.FindOutput(name)
+	if pm == nil {
+		return nil, fmt.Errorf("simengine: no output port %q", name)
+	}
+	out := make([]uint64, e.batch)
+	for i, unit := range pm.Units {
+		if i >= 64 {
+			break
+		}
+		e.lane(unit, func(row []float32, irow []int32) {
+			for b := 0; b < e.batch; b++ {
+				on := false
+				if row != nil {
+					on = row[b] > 0.5
+				} else {
+					on = irow[b] != 0
+				}
+				if on {
+					out[b] |= 1 << uint(i)
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// GetOutputBits reads the full width of an output port for one batch
+// lane (GetOutput truncates to 64 bits; wide buses like a 128-bit AES
+// ciphertext need this form).
+func (e *Engine) GetOutputBits(name string, laneIdx int) ([]bool, error) {
+	pm := e.model.FindOutput(name)
+	if pm == nil {
+		return nil, fmt.Errorf("simengine: no output port %q", name)
+	}
+	if laneIdx < 0 || laneIdx >= e.batch {
+		return nil, fmt.Errorf("simengine: lane %d out of range", laneIdx)
+	}
+	out := make([]bool, len(pm.Units))
+	for i, unit := range pm.Units {
+		idx := int(unit)*e.batch + laneIdx
+		if e.prec == Float32 {
+			out[i] = e.actsF[idx] > 0.5
+		} else {
+			out[i] = e.actsI[idx] != 0
+		}
+	}
+	return out, nil
+}
+
+// Throughput converts a timed run into the paper's metric,
+// gates·cycles/s (§IV): batch lanes each advance `cycles` cycles.
+func Throughput(gateCount int64, cycles, batch int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(gateCount) * float64(cycles) * float64(batch) / elapsed.Seconds()
+}

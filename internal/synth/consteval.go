@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"fmt"
+
+	"c2nn/internal/verilog"
+)
+
+// constEval evaluates an elaboration-time constant expression (parameter
+// values, vector ranges, replication counts, generate/for-loop bounds).
+// Values are int64 with wrap-around semantics; literals wider than 63
+// bits are rejected in constant context (they may still appear freely in
+// circuit expressions).
+func (sc *scope) constEval(e verilog.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *verilog.NumberExpr:
+		return numberToInt64(x.Num, x.Pos)
+	case *verilog.Ident:
+		if v, ok := sc.lookupConst(x.Name); ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("%s: %q is not a constant in this context", x.Pos, x.Name)
+	case *verilog.Unary:
+		v, err := sc.constEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case verilog.TokMinus:
+			return -v, nil
+		case verilog.TokTilde:
+			return ^v, nil
+		case verilog.TokNot:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("%s: unary operator %s not supported in constant expression", x.Pos, x.Op)
+	case *verilog.Binary:
+		a, err := sc.constEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := sc.constEval(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		return constBinary(x.Op, a, b, x.Pos)
+	case *verilog.Ternary:
+		c, err := sc.constEval(x.Cond)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return sc.constEval(x.A)
+		}
+		return sc.constEval(x.B)
+	}
+	return 0, fmt.Errorf("%s: expression is not an elaboration-time constant", verilog.ExprPos(e))
+}
+
+func constBinary(op verilog.TokenKind, a, b int64, pos verilog.Pos) (int64, error) {
+	boolTo := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case verilog.TokPlus:
+		return a + b, nil
+	case verilog.TokMinus:
+		return a - b, nil
+	case verilog.TokStar:
+		return a * b, nil
+	case verilog.TokSlash:
+		if b == 0 {
+			return 0, fmt.Errorf("%s: division by zero in constant expression", pos)
+		}
+		return a / b, nil
+	case verilog.TokPercent:
+		if b == 0 {
+			return 0, fmt.Errorf("%s: modulo by zero in constant expression", pos)
+		}
+		return a % b, nil
+	case verilog.TokPower:
+		if b < 0 {
+			return 0, fmt.Errorf("%s: negative exponent in constant expression", pos)
+		}
+		r := int64(1)
+		for i := int64(0); i < b; i++ {
+			r *= a
+		}
+		return r, nil
+	case verilog.TokShl:
+		if b < 0 || b > 63 {
+			return 0, nil
+		}
+		return a << uint(b), nil
+	case verilog.TokShr:
+		if b < 0 || b > 63 {
+			return 0, nil
+		}
+		return int64(uint64(a) >> uint(b)), nil
+	case verilog.TokAShr:
+		if b < 0 || b > 63 {
+			return 0, nil
+		}
+		return a >> uint(b), nil
+	case verilog.TokAmp:
+		return a & b, nil
+	case verilog.TokPipe:
+		return a | b, nil
+	case verilog.TokCaret:
+		return a ^ b, nil
+	case verilog.TokTildeCaret:
+		return ^(a ^ b), nil
+	case verilog.TokAndAnd:
+		return boolTo(a != 0 && b != 0), nil
+	case verilog.TokOrOr:
+		return boolTo(a != 0 || b != 0), nil
+	case verilog.TokEq, verilog.TokCaseEq:
+		return boolTo(a == b), nil
+	case verilog.TokNeq, verilog.TokCaseNeq:
+		return boolTo(a != b), nil
+	case verilog.TokLt:
+		return boolTo(a < b), nil
+	case verilog.TokGt:
+		return boolTo(a > b), nil
+	case verilog.TokNonblock: // <=
+		return boolTo(a <= b), nil
+	case verilog.TokGe:
+		return boolTo(a >= b), nil
+	}
+	return 0, fmt.Errorf("%s: operator %s not supported in constant expression", pos, op)
+}
+
+func numberToInt64(n verilog.Number, pos verilog.Pos) (int64, error) {
+	for i, w := range n.Words {
+		if i > 0 && w != 0 {
+			return 0, fmt.Errorf("%s: literal %s too wide for constant context", pos, verilog.FormatNumber(n))
+		}
+	}
+	v := n.Uint64()
+	if v > 1<<63-1 {
+		return 0, fmt.Errorf("%s: literal %s too large for constant context", pos, verilog.FormatNumber(n))
+	}
+	return int64(v), nil
+}

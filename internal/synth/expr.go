@@ -1,0 +1,711 @@
+package synth
+
+import (
+	"fmt"
+
+	"c2nn/internal/netlist"
+	"c2nn/internal/verilog"
+)
+
+// evalCtx is the expression evaluation context: a name scope plus, in
+// procedural code, the symbolic environment holding in-flight values.
+type evalCtx struct {
+	sc  *scope
+	env *procEnv
+}
+
+// evalSized on a scope evaluates in continuous-assignment context.
+func (sc *scope) evalSized(e verilog.Expr, width int) (vec, error) {
+	return (&evalCtx{sc: sc}).evalSized(e, width)
+}
+
+// readSignal returns the current value of a signal: the procedural
+// override when one exists, otherwise the signal's fixed nets.
+func (cx *evalCtx) readSignal(sig *signal) vec {
+	if cx.env != nil {
+		if v, ok := cx.env.read(sig); ok {
+			return v
+		}
+	}
+	return sig.bits
+}
+
+// selfWidth computes the self-determined width of an expression per the
+// Verilog sizing rules (simplified to the synthesisable subset).
+func (cx *evalCtx) selfWidth(e verilog.Expr) (int, error) {
+	switch x := e.(type) {
+	case *verilog.NumberExpr:
+		return x.Num.Width, nil
+	case *verilog.Ident:
+		if _, ok := cx.sc.lookupConst(x.Name); ok {
+			return 32, nil
+		}
+		if sig, ok := cx.sc.lookupSignal(x.Name); ok {
+			return sig.width(), nil
+		}
+		return 0, fmt.Errorf("%s: unknown identifier %q", x.Pos, x.Name)
+	case *verilog.Unary:
+		switch x.Op {
+		case verilog.TokTilde, verilog.TokMinus:
+			return cx.selfWidth(x.X)
+		default: // reductions, !
+			return 1, nil
+		}
+	case *verilog.Binary:
+		switch x.Op {
+		case verilog.TokAndAnd, verilog.TokOrOr,
+			verilog.TokEq, verilog.TokNeq, verilog.TokCaseEq, verilog.TokCaseNeq,
+			verilog.TokLt, verilog.TokGt, verilog.TokGe, verilog.TokNonblock:
+			return 1, nil
+		case verilog.TokShl, verilog.TokShr, verilog.TokAShr, verilog.TokPower:
+			return cx.selfWidth(x.X)
+		default:
+			wx, err := cx.selfWidth(x.X)
+			if err != nil {
+				return 0, err
+			}
+			wy, err := cx.selfWidth(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			return max(wx, wy), nil
+		}
+	case *verilog.Ternary:
+		wa, err := cx.selfWidth(x.A)
+		if err != nil {
+			return 0, err
+		}
+		wb, err := cx.selfWidth(x.B)
+		if err != nil {
+			return 0, err
+		}
+		return max(wa, wb), nil
+	case *verilog.Index:
+		if id, ok := x.X.(*verilog.Ident); ok {
+			if sig, ok := cx.sc.lookupSignal(id.Name); ok && sig.elems > 0 {
+				return sig.elemWidth(), nil
+			}
+		}
+		return 1, nil
+	case *verilog.RangeSelect:
+		switch x.Mode {
+		case verilog.RangeConst:
+			m, err := cx.sc.constEval(x.MSB)
+			if err != nil {
+				return 0, err
+			}
+			l, err := cx.sc.constEval(x.LSB)
+			if err != nil {
+				return 0, err
+			}
+			w := m - l
+			if w < 0 {
+				w = -w
+			}
+			return int(w) + 1, nil
+		default:
+			w, err := cx.sc.constEval(x.LSB)
+			if err != nil {
+				return 0, err
+			}
+			return int(w), nil
+		}
+	case *verilog.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			w, err := cx.selfWidth(p)
+			if err != nil {
+				return 0, err
+			}
+			total += w
+		}
+		return total, nil
+	case *verilog.Repl:
+		cnt, err := cx.sc.constEval(x.Count)
+		if err != nil {
+			return 0, err
+		}
+		w, err := cx.selfWidth(x.X)
+		if err != nil {
+			return 0, err
+		}
+		return int(cnt) * w, nil
+	case *verilog.Call:
+		fn, ok := cx.sc.lookupFunc(x.Name)
+		if !ok {
+			return 0, fmt.Errorf("%s: unknown function %q", x.Pos, x.Name)
+		}
+		return cx.sc.funcWidth(fn)
+	}
+	return 0, fmt.Errorf("%s: cannot size expression", verilog.ExprPos(e))
+}
+
+func (sc *scope) funcWidth(fn *verilog.FunctionDecl) (int, error) {
+	if fn.MSB == nil {
+		return 1, nil
+	}
+	m, err := sc.constEval(fn.MSB)
+	if err != nil {
+		return 0, err
+	}
+	l, err := sc.constEval(fn.LSB)
+	if err != nil {
+		return 0, err
+	}
+	w := m - l
+	if w < 0 {
+		w = -w
+	}
+	return int(w) + 1, nil
+}
+
+// isSigned reports whether an expression has signed arithmetic type.
+func (cx *evalCtx) isSigned(e verilog.Expr) bool {
+	switch x := e.(type) {
+	case *verilog.Ident:
+		if sig, ok := cx.sc.lookupSignal(x.Name); ok {
+			return sig.signed
+		}
+		return false
+	case *verilog.Unary:
+		switch x.Op {
+		case verilog.TokTilde, verilog.TokMinus:
+			return cx.isSigned(x.X)
+		}
+		return false
+	case *verilog.Binary:
+		switch x.Op {
+		case verilog.TokPlus, verilog.TokMinus, verilog.TokStar,
+			verilog.TokSlash, verilog.TokPercent,
+			verilog.TokAmp, verilog.TokPipe, verilog.TokCaret, verilog.TokTildeCaret:
+			return cx.isSigned(x.X) && cx.isSigned(x.Y)
+		case verilog.TokAShr:
+			return cx.isSigned(x.X)
+		}
+		return false
+	case *verilog.Ternary:
+		return cx.isSigned(x.A) && cx.isSigned(x.B)
+	}
+	return false
+}
+
+// evalSized lowers an expression to gates and returns exactly `width`
+// bits (LSB-first), truncating or extending per the sizing rules.
+func (cx *evalCtx) evalSized(e verilog.Expr, width int) (vec, error) {
+	switch x := e.(type) {
+	case *verilog.NumberExpr:
+		out := make(vec, width)
+		for i := range out {
+			if x.Num.Bit(i) {
+				out[i] = netlist.ConstOne
+			} else {
+				out[i] = netlist.ConstZero
+			}
+		}
+		return out, nil
+
+	case *verilog.Ident:
+		if v, ok := cx.sc.lookupConst(x.Name); ok {
+			return constVec(uint64(v), width), nil
+		}
+		sig, ok := cx.sc.lookupSignal(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("%s: unknown identifier %q", x.Pos, x.Name)
+		}
+		if sig.elems > 0 {
+			return nil, fmt.Errorf("%s: memory %q cannot be read whole; index an element", x.Pos, x.Name)
+		}
+		return extend(cx.readSignal(sig), width, sig.signed), nil
+
+	case *verilog.Unary:
+		return cx.evalUnary(x, width)
+
+	case *verilog.Binary:
+		return cx.evalBinary(x, width)
+
+	case *verilog.Ternary:
+		cond, err := cx.evalBool(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		wa, err := cx.selfWidth(x.A)
+		if err != nil {
+			return nil, err
+		}
+		wb, err := cx.selfWidth(x.B)
+		if err != nil {
+			return nil, err
+		}
+		w := max(max(wa, wb), width)
+		a, err := cx.evalSized(x.A, w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cx.evalSized(x.B, w)
+		if err != nil {
+			return nil, err
+		}
+		return cx.sc.muxVec(cond, b, a)[:width], nil
+
+	case *verilog.Index:
+		if id, ok := x.X.(*verilog.Ident); ok {
+			if sig, ok := cx.sc.lookupSignal(id.Name); ok && sig.elems > 0 {
+				v, err := cx.evalArrayRead(x, sig)
+				if err != nil {
+					return nil, err
+				}
+				return extend(v, width, false), nil
+			}
+		}
+		bit, err := cx.evalIndexBit(x)
+		if err != nil {
+			return nil, err
+		}
+		return extend(vec{bit}, width, false), nil
+
+	case *verilog.RangeSelect:
+		v, err := cx.evalRangeSelect(x)
+		if err != nil {
+			return nil, err
+		}
+		return extend(v, width, false), nil
+
+	case *verilog.Concat:
+		var out vec
+		for i := len(x.Parts) - 1; i >= 0; i-- {
+			w, err := cx.selfWidth(x.Parts[i])
+			if err != nil {
+				return nil, err
+			}
+			part, err := cx.evalSized(x.Parts[i], w)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		return extend(out, width, false), nil
+
+	case *verilog.Repl:
+		cnt, err := cx.sc.constEval(x.Count)
+		if err != nil {
+			return nil, err
+		}
+		if cnt < 0 || cnt > 1<<16 {
+			return nil, fmt.Errorf("%s: unreasonable replication count %d", x.Pos, cnt)
+		}
+		w, err := cx.selfWidth(x.X)
+		if err != nil {
+			return nil, err
+		}
+		part, err := cx.evalSized(x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		var out vec
+		for i := int64(0); i < cnt; i++ {
+			out = append(out, part...)
+		}
+		return extend(out, width, false), nil
+
+	case *verilog.Call:
+		v, err := cx.callFunction(x)
+		if err != nil {
+			return nil, err
+		}
+		return extend(v, width, false), nil
+	}
+	return nil, fmt.Errorf("%s: unsupported expression", verilog.ExprPos(e))
+}
+
+// evalBool evaluates an expression as a 1-bit truth value (any bit set).
+func (cx *evalCtx) evalBool(e verilog.Expr) (netlist.NetID, error) {
+	w, err := cx.selfWidth(e)
+	if err != nil {
+		return 0, err
+	}
+	v, err := cx.evalSized(e, w)
+	if err != nil {
+		return 0, err
+	}
+	return cx.sc.boolVal(v), nil
+}
+
+func (cx *evalCtx) evalUnary(x *verilog.Unary, width int) (vec, error) {
+	sc := cx.sc
+	switch x.Op {
+	case verilog.TokTilde, verilog.TokMinus:
+		w, err := cx.selfWidth(x.X)
+		if err != nil {
+			return nil, err
+		}
+		w = max(w, width)
+		v, err := cx.evalSized(x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == verilog.TokTilde {
+			return sc.notVec(v)[:width], nil
+		}
+		return sc.negVec(v)[:width], nil
+	case verilog.TokNot:
+		b, err := cx.evalBool(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return extend(vec{sc.nl().AddGate(netlist.Not, b)}, width, false), nil
+	case verilog.TokAmp, verilog.TokPipe, verilog.TokCaret,
+		verilog.TokTildeAmp, verilog.TokTildePipe, verilog.TokTildeCaret:
+		w, err := cx.selfWidth(x.X)
+		if err != nil {
+			return nil, err
+		}
+		v, err := cx.evalSized(x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		var r netlist.NetID
+		switch x.Op {
+		case verilog.TokAmp, verilog.TokTildeAmp:
+			r = sc.reduceTree(netlist.And, v)
+		case verilog.TokPipe, verilog.TokTildePipe:
+			r = sc.reduceTree(netlist.Or, v)
+		default:
+			r = sc.reduceTree(netlist.Xor, v)
+		}
+		switch x.Op {
+		case verilog.TokTildeAmp, verilog.TokTildePipe, verilog.TokTildeCaret:
+			r = sc.nl().AddGate(netlist.Not, r)
+		}
+		return extend(vec{r}, width, false), nil
+	}
+	return nil, fmt.Errorf("%s: unsupported unary operator %s", x.Pos, x.Op)
+}
+
+func (cx *evalCtx) evalBinary(x *verilog.Binary, width int) (vec, error) {
+	sc := cx.sc
+	signed := cx.isSigned(x.X) && cx.isSigned(x.Y)
+
+	evalBoth := func(w int) (vec, vec, error) {
+		a, err := cx.evalSized(x.X, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := cx.evalSized(x.Y, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, b, nil
+	}
+	operandWidth := func() (int, error) {
+		wx, err := cx.selfWidth(x.X)
+		if err != nil {
+			return 0, err
+		}
+		wy, err := cx.selfWidth(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		return max(wx, wy), nil
+	}
+	oneBit := func(b netlist.NetID) vec { return extend(vec{b}, width, false) }
+
+	switch x.Op {
+	case verilog.TokPlus, verilog.TokMinus, verilog.TokStar,
+		verilog.TokSlash, verilog.TokPercent,
+		verilog.TokAmp, verilog.TokPipe, verilog.TokCaret, verilog.TokTildeCaret:
+		ow, err := operandWidth()
+		if err != nil {
+			return nil, err
+		}
+		w := max(ow, width)
+		a, b, err := evalBoth(w)
+		if err != nil {
+			return nil, err
+		}
+		var r vec
+		switch x.Op {
+		case verilog.TokPlus:
+			r, _ = sc.addVec(a, b, netlist.ConstZero)
+		case verilog.TokMinus:
+			r, _ = sc.subVec(a, b)
+		case verilog.TokStar:
+			r = sc.mulVec(a, b)
+		case verilog.TokSlash:
+			r, _ = sc.divModVec(a, b)
+		case verilog.TokPercent:
+			_, r = sc.divModVec(a, b)
+		case verilog.TokAmp:
+			r = sc.bitwise(netlist.And, a, b)
+		case verilog.TokPipe:
+			r = sc.bitwise(netlist.Or, a, b)
+		case verilog.TokCaret:
+			r = sc.bitwise(netlist.Xor, a, b)
+		case verilog.TokTildeCaret:
+			r = sc.bitwise(netlist.Xnor, a, b)
+		}
+		return r[:width], nil
+
+	case verilog.TokAndAnd, verilog.TokOrOr:
+		a, err := cx.evalBool(x.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cx.evalBool(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		kind := netlist.And
+		if x.Op == verilog.TokOrOr {
+			kind = netlist.Or
+		}
+		return oneBit(sc.nl().AddGate(kind, a, b)), nil
+
+	case verilog.TokEq, verilog.TokCaseEq, verilog.TokNeq, verilog.TokCaseNeq:
+		ow, err := operandWidth()
+		if err != nil {
+			return nil, err
+		}
+		a, b, err := evalBoth(ow)
+		if err != nil {
+			return nil, err
+		}
+		r := sc.eqVec(a, b)
+		if x.Op == verilog.TokNeq || x.Op == verilog.TokCaseNeq {
+			r = sc.nl().AddGate(netlist.Not, r)
+		}
+		return oneBit(r), nil
+
+	case verilog.TokLt, verilog.TokGt, verilog.TokGe, verilog.TokNonblock:
+		ow, err := operandWidth()
+		if err != nil {
+			return nil, err
+		}
+		a, b, err := evalBoth(ow)
+		if err != nil {
+			return nil, err
+		}
+		var r netlist.NetID
+		switch x.Op {
+		case verilog.TokLt:
+			r = sc.ltVec(a, b, signed)
+		case verilog.TokGt:
+			r = sc.ltVec(b, a, signed)
+		case verilog.TokGe:
+			r = sc.nl().AddGate(netlist.Not, sc.ltVec(a, b, signed))
+		case verilog.TokNonblock: // <=
+			r = sc.nl().AddGate(netlist.Not, sc.ltVec(b, a, signed))
+		}
+		return oneBit(r), nil
+
+	case verilog.TokShl, verilog.TokShr, verilog.TokAShr:
+		wx, err := cx.selfWidth(x.X)
+		if err != nil {
+			return nil, err
+		}
+		w := max(wx, width)
+		a, err := cx.evalSized(x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		arith := x.Op == verilog.TokAShr && cx.isSigned(x.X)
+		left := x.Op == verilog.TokShl
+		if amt, err := cx.sc.constEval(x.Y); err == nil {
+			if amt < 0 {
+				amt = 0
+			}
+			var r vec
+			if left {
+				r = shlConst(a, int(amt))
+			} else {
+				r = shrConst(a, int(amt), arith)
+			}
+			return r[:width], nil
+		}
+		wy, err := cx.selfWidth(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		amt, err := cx.evalSized(x.Y, wy)
+		if err != nil {
+			return nil, err
+		}
+		return sc.shiftDyn(a, amt, left, arith)[:width], nil
+
+	case verilog.TokPower:
+		exp, err := cx.sc.constEval(x.Y)
+		if err != nil {
+			return nil, fmt.Errorf("%s: exponent of ** must be an elaboration-time constant: %v", x.Pos, err)
+		}
+		if exp < 0 {
+			return nil, fmt.Errorf("%s: negative exponent", x.Pos)
+		}
+		wx, err := cx.selfWidth(x.X)
+		if err != nil {
+			return nil, err
+		}
+		w := max(wx, width)
+		base, err := cx.evalSized(x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		acc := constVec(1, w)
+		for i := int64(0); i < exp; i++ {
+			acc = sc.mulVec(acc, base)
+		}
+		return acc[:width], nil
+	}
+	return nil, fmt.Errorf("%s: unsupported binary operator %s", x.Pos, x.Op)
+}
+
+// evalArrayRead lowers a memory element read m[i]: constant indices
+// slice the flattened element directly, dynamic indices use a barrel
+// shifter over the flattened array (the synchronous-RAM read port
+// lowering).
+func (cx *evalCtx) evalArrayRead(x *verilog.Index, sig *signal) (vec, error) {
+	val := cx.readSignal(sig)
+	w := sig.elemWidth()
+	if idx, err := cx.sc.constEval(x.I); err == nil {
+		e := int(idx) - sig.alo
+		if e < 0 || e >= sig.elems {
+			return nil, fmt.Errorf("%s: element %d out of range of %s", x.Pos, idx, sig.name)
+		}
+		return val[e*w : (e+1)*w], nil
+	}
+	wi, err := cx.selfWidth(x.I)
+	if err != nil {
+		return nil, err
+	}
+	idxBits, err := cx.evalSized(x.I, wi)
+	if err != nil {
+		return nil, err
+	}
+	if sig.alo != 0 {
+		idxBits, _ = cx.sc.subVec(idxBits, constVec(uint64(sig.alo), wi))
+	}
+	// Shift amount = idx * elemWidth, computed at width wi + log2(w).
+	extra := 0
+	for 1<<uint(extra) < w {
+		extra++
+	}
+	amtW := wi + extra
+	idxW := extend(idxBits, amtW, false)
+	amt := cx.sc.mulVec(idxW, constVec(uint64(w), amtW))
+	shifted := cx.sc.shiftDyn(val, amt, false, false)
+	return shifted[:w], nil
+}
+
+// evalIndexBit lowers a bit select x[i], handling dynamic indices with a
+// mux tree.
+func (cx *evalCtx) evalIndexBit(x *verilog.Index) (netlist.NetID, error) {
+	id, ok := x.X.(*verilog.Ident)
+	if !ok {
+		return 0, fmt.Errorf("%s: bit select base must be a signal", x.Pos)
+	}
+	sig, ok := cx.sc.lookupSignal(id.Name)
+	if !ok {
+		// Selecting a bit of a parameter constant.
+		if v, okc := cx.sc.lookupConst(id.Name); okc {
+			idx, err := cx.sc.constEval(x.I)
+			if err != nil {
+				return 0, err
+			}
+			if idx >= 0 && idx < 64 && uint64(v)>>uint(idx)&1 == 1 {
+				return netlist.ConstOne, nil
+			}
+			return netlist.ConstZero, nil
+		}
+		return 0, fmt.Errorf("%s: unknown signal %q", x.Pos, id.Name)
+	}
+	val := cx.readSignal(sig)
+	if idx, err := cx.sc.constEval(x.I); err == nil {
+		off, ok := sig.offsetOf(int(idx))
+		if !ok {
+			return netlist.ConstZero, nil // out-of-range select reads x -> 0
+		}
+		return val[off], nil
+	}
+	if sig.msb < sig.lsb {
+		return 0, fmt.Errorf("%s: dynamic bit select on ascending range is not supported", x.Pos)
+	}
+	wi, err := cx.selfWidth(x.I)
+	if err != nil {
+		return 0, err
+	}
+	idxBits, err := cx.evalSized(x.I, wi)
+	if err != nil {
+		return 0, err
+	}
+	if sig.lsb != 0 {
+		base := constVec(uint64(sig.lsb), wi)
+		idxBits, _ = cx.sc.subVec(idxBits, base)
+	}
+	return cx.sc.selectBitDyn(val, idxBits), nil
+}
+
+// evalRangeSelect lowers a part select, handling dynamic +:/-: bases
+// with a barrel shifter.
+func (cx *evalCtx) evalRangeSelect(x *verilog.RangeSelect) (vec, error) {
+	id, ok := x.X.(*verilog.Ident)
+	if !ok {
+		return nil, fmt.Errorf("%s: part select base must be a signal", x.Pos)
+	}
+	sig, ok := cx.sc.lookupSignal(id.Name)
+	if !ok {
+		return nil, fmt.Errorf("%s: unknown signal %q", x.Pos, id.Name)
+	}
+	val := cx.readSignal(sig)
+
+	// Constant base: plain slice.
+	if x.Mode == verilog.RangeConst {
+		lo, hi, err := cx.sc.resolveRange(sig, x)
+		if err != nil {
+			return nil, err
+		}
+		return val[lo : hi+1], nil
+	}
+	w64, err := cx.sc.constEval(x.LSB)
+	if err != nil {
+		return nil, err
+	}
+	w := int(w64)
+	if w <= 0 {
+		return nil, fmt.Errorf("%s: part select width must be positive", x.Pos)
+	}
+	if base, err := cx.sc.constEval(x.MSB); err == nil {
+		lo := int(base)
+		if x.Mode == verilog.RangeDown {
+			lo = lo - w + 1
+		}
+		off, ok := sig.offsetOf(lo)
+		if !ok {
+			return nil, fmt.Errorf("%s: part select out of range of %s", x.Pos, sig.name)
+		}
+		end := off + w
+		if end > len(val) {
+			return nil, fmt.Errorf("%s: part select out of range of %s", x.Pos, sig.name)
+		}
+		return val[off:end], nil
+	}
+	// Dynamic base: shift right by (base - lsb) and keep the low w bits.
+	if sig.msb < sig.lsb {
+		return nil, fmt.Errorf("%s: dynamic part select on ascending range is not supported", x.Pos)
+	}
+	wb, err := cx.selfWidth(x.MSB)
+	if err != nil {
+		return nil, err
+	}
+	baseBits, err := cx.evalSized(x.MSB, wb)
+	if err != nil {
+		return nil, err
+	}
+	if x.Mode == verilog.RangeDown {
+		adj := constVec(uint64(w-1), wb)
+		baseBits, _ = cx.sc.subVec(baseBits, adj)
+	}
+	if sig.lsb != 0 {
+		adj := constVec(uint64(sig.lsb), wb)
+		baseBits, _ = cx.sc.subVec(baseBits, adj)
+	}
+	shifted := cx.sc.shiftDyn(val, baseBits, false, false)
+	return shifted[:w], nil
+}

@@ -1,0 +1,294 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Memory-array tests: `reg [W-1:0] mem [0:D-1]` with constant and
+// dynamic indices on both sides of assignments.
+
+func TestMemorySyncRAM(t *testing.T) {
+	nl := elab(t, `
+module ram(input clk, input we, input [3:0] waddr, raddr,
+           input [7:0] wdata, output [7:0] rdata);
+  reg [7:0] mem [0:15];
+  always @(posedge clk) begin
+    if (we) mem[waddr] <= wdata;
+  end
+  assign rdata = mem[raddr];
+endmodule`)
+	if nl.NumFFs() != 128 {
+		t.Fatalf("FFs = %d, want 128", nl.NumFFs())
+	}
+	s := newSim(t, nl)
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(1))
+	for cyc := 0; cyc < 300; cyc++ {
+		we := uint64(rng.Intn(2))
+		waddr := uint64(rng.Intn(16))
+		raddr := uint64(rng.Intn(16))
+		wdata := uint64(rng.Intn(256))
+		s.setInput("we", we)
+		s.setInput("waddr", waddr)
+		s.setInput("raddr", raddr)
+		s.setInput("wdata", wdata)
+		s.eval()
+		if got, want := s.out("rdata"), model[raddr]; got != want {
+			t.Fatalf("cycle %d: rdata[%d] = %d, want %d", cyc, raddr, got, want)
+		}
+		s.step()
+		if we == 1 {
+			model[waddr] = wdata
+		}
+	}
+}
+
+func TestMemoryConstIndex(t *testing.T) {
+	nl := elab(t, `
+module cm(input clk, input [7:0] d, output [7:0] q0, q3);
+  reg [7:0] m [0:3];
+  always @(posedge clk) begin
+    m[0] <= d;
+    m[3] <= m[0];
+  end
+  assign q0 = m[0];
+  assign q3 = m[3];
+endmodule`)
+	s := newSim(t, nl)
+	s.setInput("d", 0x42)
+	s.step()
+	s.eval()
+	if s.out("q0") != 0x42 {
+		t.Fatalf("q0 = %#x", s.out("q0"))
+	}
+	s.setInput("d", 0x99)
+	s.step()
+	s.eval()
+	// m[3] got the old m[0] (non-blocking).
+	if s.out("q3") != 0x42 || s.out("q0") != 0x99 {
+		t.Fatalf("q0=%#x q3=%#x", s.out("q0"), s.out("q3"))
+	}
+}
+
+func TestMemoryNonZeroBase(t *testing.T) {
+	nl := elab(t, `
+module nb(input clk, input [3:0] a, input [7:0] d, input we, output [7:0] q);
+  reg [7:0] m [4:11];
+  always @(posedge clk) if (we) m[a] <= d;
+  assign q = m[a];
+endmodule`)
+	s := newSim(t, nl)
+	s.setInput("we", 1)
+	s.setInput("a", 7)
+	s.setInput("d", 0x5C)
+	s.step()
+	s.setInput("we", 0)
+	s.eval()
+	if s.out("q") != 0x5C {
+		t.Fatalf("q = %#x", s.out("q"))
+	}
+	s.setInput("a", 4)
+	s.eval()
+	if s.out("q") != 0 {
+		t.Fatalf("untouched element = %#x", s.out("q"))
+	}
+}
+
+func TestMemoryFIFO(t *testing.T) {
+	// A real circular FIFO built on a memory array: the construct the
+	// benchmark designs previously emulated with generate loops.
+	nl := elab(t, `
+module mfifo(input clk, rst, input wr, rd, input [7:0] din,
+             output [7:0] dout, output empty, full);
+  reg [7:0] mem [0:7];
+  reg [3:0] cnt;
+  reg [2:0] wp, rp;
+  wire do_wr = wr && !full;
+  wire do_rd = rd && !empty;
+  always @(posedge clk) begin
+    if (rst) begin
+      cnt <= 4'd0; wp <= 3'd0; rp <= 3'd0;
+    end else begin
+      if (do_wr) begin mem[wp] <= din; wp <= wp + 3'd1; end
+      if (do_rd) rp <= rp + 3'd1;
+      if (do_wr && !do_rd) cnt <= cnt + 4'd1;
+      if (do_rd && !do_wr) cnt <= cnt - 4'd1;
+    end
+  end
+  assign dout  = mem[rp];
+  assign empty = cnt == 4'd0;
+  assign full  = cnt == 4'd8;
+endmodule`)
+	s := newSim(t, nl)
+	s.setInput("rst", 1)
+	s.step()
+	s.setInput("rst", 0)
+
+	var model []uint64
+	rng := rand.New(rand.NewSource(3))
+	for cyc := 0; cyc < 400; cyc++ {
+		wr := rng.Intn(2) == 1
+		rd := rng.Intn(3) == 1
+		din := uint64(rng.Intn(256))
+		s.setInput("wr", b2u(wr))
+		s.setInput("rd", b2u(rd))
+		s.setInput("din", din)
+		s.eval()
+		if e := s.out("empty"); e != b2u(len(model) == 0) {
+			t.Fatalf("cycle %d: empty=%d model len %d", cyc, e, len(model))
+		}
+		if f := s.out("full"); f != b2u(len(model) == 8) {
+			t.Fatalf("cycle %d: full=%d model len %d", cyc, f, len(model))
+		}
+		if len(model) > 0 {
+			if got := s.out("dout"); got != model[0] {
+				t.Fatalf("cycle %d: dout=%#x want %#x", cyc, got, model[0])
+			}
+		}
+		doWr := wr && len(model) < 8
+		doRd := rd && len(model) > 0
+		s.step()
+		if doRd {
+			model = model[1:]
+		}
+		if doWr {
+			model = append(model, din)
+		}
+	}
+}
+
+func TestMemoryErrors(t *testing.T) {
+	elabErr(t, `
+module e1(input [7:0] d, output [7:0] q);
+  reg [7:0] m [0:3];
+  assign q = m; // whole-memory read
+endmodule`)
+	elabErr(t, `
+module e2(output [7:0] q);
+  reg [7:0] m [0:3];
+  assign q = m[9]; // out of range
+endmodule`)
+	elabErr(t, `
+module e3;
+  wire [7:0] m [0:3]; // memories must be reg
+endmodule`)
+}
+
+func TestInitialBlockSetsPowerOn(t *testing.T) {
+	nl := elab(t, `
+module pwr(input clk, output [7:0] q, output flag);
+  reg [7:0] r;
+  reg f;
+  initial begin
+    r = 8'hC3;
+    f = 1'b1;
+  end
+  always @(posedge clk) begin
+    r <= r;
+    f <= f;
+  end
+  assign q = r;
+  assign flag = f;
+endmodule`)
+	s := newSim(t, nl)
+	s.eval()
+	if s.out("q") != 0xC3 || s.out("flag") != 1 {
+		t.Fatalf("power-on: q=%#x flag=%d", s.out("q"), s.out("flag"))
+	}
+}
+
+func TestInitialBlockRejectsNonConst(t *testing.T) {
+	elabErr(t, `
+module bad(input [7:0] d, input clk, output [7:0] q);
+  reg [7:0] r;
+  initial r = d; // not a constant
+  always @(posedge clk) r <= r;
+  assign q = r;
+endmodule`)
+}
+
+// TestElaborationErrorCatalogue drives the error paths of elaboration:
+// every snippet must be rejected with a diagnostic, never a panic.
+func TestElaborationErrorCatalogue(t *testing.T) {
+	cases := map[string]string{
+		"recursive instantiation": `
+module r(input a, output y);
+  r inner (.a(a), .y(y));
+endmodule`,
+		"unknown port on instance": `
+module leaf(input a, output y); assign y = a; endmodule
+module top(input a, output y);
+  leaf u (.a(a), .bogus(y));
+endmodule`,
+		"port bound twice": `
+module leaf(input a, output y); assign y = a; endmodule
+module top(input a, output y);
+  leaf u (.a(a), .a(a), .y(y));
+endmodule`,
+		"too many positional connections": `
+module leaf(input a, output y); assign y = a; endmodule
+module top(input a, output y);
+  leaf u (a, y, a);
+endmodule`,
+		"unreasonable width": `
+module w(output y);
+  wire [3000000:0] huge;
+  assign y = huge[0];
+endmodule`,
+		"generate does not progress": `
+module g(output y);
+  genvar i;
+  generate
+    for (i = 0; i < 4; i = i) begin : b
+      assign y = 1'b0;
+    end
+  endgenerate
+endmodule`,
+		"non-constant replication": `
+module nr(input [3:0] n, input a, output [7:0] y);
+  assign y = {n{a}};
+endmodule`,
+		"power with variable exponent": `
+module pe(input [3:0] a, b, output [3:0] y);
+  assign y = a ** b;
+endmodule`,
+		"function result never assigned": `
+module fn(input [3:0] x, output [3:0] y);
+  function [3:0] f;
+    input [3:0] v;
+    begin
+      if (v == 4'd0) f = 4'd1;
+    end
+  endfunction
+  assign y = f(x);
+endmodule`,
+		"nonblocking in comb block": `
+module nb(input a, output reg y);
+  always @* y <= a;
+endmodule`,
+		"parameter used in range before defined": `
+module fwd(output y);
+  wire [LATER:0] x;
+  parameter LATER = 3;
+  assign y = x[0];
+endmodule`,
+		"case label non-constant in casez": `
+module cz(input [3:0] s, w, output reg y);
+  always @* begin
+    y = 1'b0;
+    casez (s)
+      w: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+  end
+endmodule`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ElaborateSource("", map[string]string{"e.v": src}); err == nil {
+				t.Fatalf("accepted: %s", src)
+			}
+		})
+	}
+}

@@ -1,0 +1,271 @@
+package synth
+
+import "c2nn/internal/netlist"
+
+// This file contains the bit-blasting builders: every Verilog operator is
+// lowered here to netlist gate primitives. All vectors are LSB-first and
+// the two operand vectors of binary builders must have equal width.
+
+// vec is a little-endian vector of nets.
+type vec = []netlist.NetID
+
+func (sc *scope) nl() *netlist.Netlist { return sc.el.nl }
+
+// constVec builds a vector holding the low `width` bits of v.
+func constVec(v uint64, width int) vec {
+	out := make(vec, width)
+	for i := range out {
+		if i < 64 && v>>uint(i)&1 == 1 {
+			out[i] = netlist.ConstOne
+		} else {
+			out[i] = netlist.ConstZero
+		}
+	}
+	return out
+}
+
+// extend returns x resized to width, zero- or sign-extending as needed.
+func extend(x vec, width int, signed bool) vec {
+	if len(x) >= width {
+		return x[:width]
+	}
+	out := make(vec, width)
+	copy(out, x)
+	fill := netlist.ConstZero
+	if signed && len(x) > 0 {
+		fill = x[len(x)-1]
+	}
+	for i := len(x); i < width; i++ {
+		out[i] = fill
+	}
+	return out
+}
+
+// notVec inverts every bit.
+func (sc *scope) notVec(x vec) vec {
+	out := make(vec, len(x))
+	for i, b := range x {
+		out[i] = sc.nl().AddGate(netlist.Not, b)
+	}
+	return out
+}
+
+// bitwise applies a 2-input gate bitwise.
+func (sc *scope) bitwise(kind netlist.GateKind, a, b vec) vec {
+	out := make(vec, len(a))
+	for i := range a {
+		out[i] = sc.nl().AddGate(kind, a[i], b[i])
+	}
+	return out
+}
+
+// muxVec selects b when sel is 1, a when sel is 0, per bit.
+func (sc *scope) muxVec(sel netlist.NetID, a, b vec) vec {
+	out := make(vec, len(a))
+	for i := range a {
+		out[i] = sc.nl().AddGate(netlist.Mux, sel, a[i], b[i])
+	}
+	return out
+}
+
+// reduceTree folds bits with a balanced tree of 2-input gates of the
+// given kind (And/Or/Xor). An empty vector reduces to the identity of
+// the operation.
+func (sc *scope) reduceTree(kind netlist.GateKind, x vec) netlist.NetID {
+	if len(x) == 0 {
+		if kind == netlist.And {
+			return netlist.ConstOne
+		}
+		return netlist.ConstZero
+	}
+	work := make(vec, len(x))
+	copy(work, x)
+	for len(work) > 1 {
+		next := work[:0]
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, sc.nl().AddGate(kind, work[i], work[i+1]))
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0]
+}
+
+// boolVal reduces a vector to one bit: 1 iff any bit is set.
+func (sc *scope) boolVal(x vec) netlist.NetID {
+	return sc.reduceTree(netlist.Or, x)
+}
+
+// addVec builds a ripple-carry adder; cin may be ConstZero. Returns the
+// sum (same width) and the carry out.
+func (sc *scope) addVec(a, b vec, cin netlist.NetID) (sum vec, cout netlist.NetID) {
+	n := sc.nl()
+	sum = make(vec, len(a))
+	c := cin
+	for i := range a {
+		axb := n.AddGate(netlist.Xor, a[i], b[i])
+		sum[i] = n.AddGate(netlist.Xor, axb, c)
+		ab := n.AddGate(netlist.And, a[i], b[i])
+		cx := n.AddGate(netlist.And, c, axb)
+		c = n.AddGate(netlist.Or, ab, cx)
+	}
+	return sum, c
+}
+
+// subVec computes a - b as a + ~b + 1. The returned noBorrow bit is the
+// final carry: 1 iff a >= b (unsigned).
+func (sc *scope) subVec(a, b vec) (diff vec, noBorrow netlist.NetID) {
+	return sc.addVec(a, sc.notVec(b), netlist.ConstOne)
+}
+
+// negVec computes two's-complement negation.
+func (sc *scope) negVec(x vec) vec {
+	zero := constVec(0, len(x))
+	diff, _ := sc.subVec(zero, x)
+	return diff
+}
+
+// mulVec builds a shift-and-add multiplier truncated to len(a) bits.
+func (sc *scope) mulVec(a, b vec) vec {
+	w := len(a)
+	acc := constVec(0, w)
+	for i := 0; i < w; i++ {
+		// Partial product: (a << i) masked by b[i], truncated to w.
+		pp := make(vec, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				pp[j] = netlist.ConstZero
+			} else {
+				pp[j] = sc.nl().AddGate(netlist.And, a[j-i], b[i])
+			}
+		}
+		acc, _ = sc.addVec(acc, pp, netlist.ConstZero)
+	}
+	return acc
+}
+
+// divModVec builds a restoring divider: returns quotient and remainder
+// of the unsigned division a / b, both len(a) bits. Division by zero
+// yields all-ones quotient and remainder a (hardware convention chosen
+// here; Verilog leaves it undefined).
+func (sc *scope) divModVec(a, b vec) (q, r vec) {
+	w := len(a)
+	q = make(vec, w)
+	rem := constVec(0, w)
+	for i := w - 1; i >= 0; i-- {
+		// rem = rem << 1 | a[i]
+		shifted := make(vec, w)
+		shifted[0] = a[i]
+		copy(shifted[1:], rem[:w-1])
+		diff, ge := sc.subVec(shifted, b)
+		q[i] = ge
+		rem = sc.muxVec(ge, shifted, diff)
+	}
+	bZero := sc.nl().AddGate(netlist.Not, sc.boolVal(b))
+	ones := constVec(^uint64(0), w)
+	q = sc.muxVec(bZero, q, ones)
+	r = sc.muxVec(bZero, rem, a)
+	return q, r
+}
+
+// eqVec produces 1 iff a == b.
+func (sc *scope) eqVec(a, b vec) netlist.NetID {
+	xn := sc.bitwise(netlist.Xnor, a, b)
+	return sc.reduceTree(netlist.And, xn)
+}
+
+// ltVec produces 1 iff a < b, unsigned or two's-complement signed.
+func (sc *scope) ltVec(a, b vec, signed bool) netlist.NetID {
+	if len(a) == 0 {
+		return netlist.ConstZero
+	}
+	if signed {
+		// Flip sign bits to map signed order onto unsigned order.
+		n := len(a)
+		a2 := make(vec, n)
+		b2 := make(vec, n)
+		copy(a2, a)
+		copy(b2, b)
+		a2[n-1] = sc.nl().AddGate(netlist.Not, a[n-1])
+		b2[n-1] = sc.nl().AddGate(netlist.Not, b[n-1])
+		a, b = a2, b2
+	}
+	_, ge := sc.subVec(a, b)
+	return sc.nl().AddGate(netlist.Not, ge)
+}
+
+// shlConst shifts left by a constant, keeping width.
+func shlConst(x vec, by int) vec {
+	w := len(x)
+	out := make(vec, w)
+	for i := range out {
+		if i-by >= 0 && i-by < w && by <= i {
+			out[i] = x[i-by]
+		} else {
+			out[i] = netlist.ConstZero
+		}
+	}
+	return out
+}
+
+// shrConst shifts right by a constant; arith selects sign fill.
+func shrConst(x vec, by int, arith bool) vec {
+	w := len(x)
+	fill := netlist.ConstZero
+	if arith && w > 0 {
+		fill = x[w-1]
+	}
+	out := make(vec, w)
+	for i := range out {
+		if i+by < w {
+			out[i] = x[i+by]
+		} else {
+			out[i] = fill
+		}
+	}
+	return out
+}
+
+// shiftDyn builds a logarithmic barrel shifter: left when left is true,
+// arithmetic right fill when arith is set. amt is the shift amount
+// vector (self-determined width).
+func (sc *scope) shiftDyn(x vec, amt vec, left, arith bool) vec {
+	out := x
+	for j := 0; j < len(amt); j++ {
+		step := 1 << uint(j)
+		var shifted vec
+		if step >= len(x) {
+			// Shifting by >= width clears the vector (or fills with the
+			// sign bit for arithmetic right shifts).
+			if !left && arith {
+				fill := x[len(x)-1]
+				shifted = make(vec, len(x))
+				for i := range shifted {
+					shifted[i] = fill
+				}
+			} else {
+				shifted = constVec(0, len(x))
+			}
+		} else if left {
+			shifted = shlConst(out, step)
+		} else {
+			shifted = shrConst(out, step, arith)
+		}
+		out = sc.muxVec(amt[j], out, shifted)
+	}
+	return out
+}
+
+// selectBitDyn extracts x[idx] for a dynamic index: a mux tree realised
+// as OR of (idx == k) AND x[k].
+func (sc *scope) selectBitDyn(x vec, idx vec) netlist.NetID {
+	n := sc.nl()
+	terms := make(vec, 0, len(x))
+	for k := range x {
+		eq := sc.eqVec(idx, constVec(uint64(k), len(idx)))
+		terms = append(terms, n.AddGate(netlist.And, eq, x[k]))
+	}
+	return sc.reduceTree(netlist.Or, terms)
+}

@@ -1,0 +1,805 @@
+package synth
+
+import (
+	"fmt"
+
+	"c2nn/internal/netlist"
+	"c2nn/internal/verilog"
+)
+
+// procEnv is the symbolic environment of a procedural block: the
+// in-flight value of every signal assigned so far. Writes always install
+// freshly allocated slices, so branch snapshots can share maps shallowly.
+type procEnv struct {
+	vals    map[*signal]vec // blocking view (reads see this)
+	nb      map[*signal]vec // pending non-blocking updates (reads do not)
+	clocked bool
+}
+
+func newProcEnv(clocked bool) *procEnv {
+	return &procEnv{
+		vals:    make(map[*signal]vec),
+		nb:      make(map[*signal]vec),
+		clocked: clocked,
+	}
+}
+
+func (e *procEnv) read(sig *signal) (vec, bool) {
+	v, ok := e.vals[sig]
+	return v, ok
+}
+
+func (e *procEnv) clone() *procEnv {
+	c := newProcEnv(e.clocked)
+	for k, v := range e.vals {
+		c.vals[k] = v
+	}
+	for k, v := range e.nb {
+		c.nb[k] = v
+	}
+	return c
+}
+
+// driveAlways elaborates one always block: combinational blocks become
+// gate drivers, clocked blocks infer D flip-flops (clock unification per
+// paper §III-C: every edge-triggered block is referenced to the single
+// global clock; extra edges in the sensitivity list act as synchronous
+// level conditions, and negedge is treated as posedge).
+func (sc *scope) driveAlways(a *verilog.AlwaysBlock) error {
+	clocked := false
+	for _, s := range a.Sens {
+		if s.Edge != verilog.EdgeAny {
+			clocked = true
+			break
+		}
+	}
+	if clocked && a.Star {
+		return fmt.Errorf("%s: always block mixes @* with edges", a.Pos)
+	}
+
+	env := newProcEnv(clocked)
+	if err := sc.exec(a.Body, env); err != nil {
+		return err
+	}
+
+	if clocked {
+		// Clock unification (§III-C) is finalised in a post-pass
+		// (resolveClocks): here the flip-flop bank is recorded with its
+		// clock net, because clocks wired through module ports only
+		// acquire their buffer chains after the whole hierarchy has
+		// elaborated.
+		clkSig, ok := sc.lookupSignal(a.Sens[0].Signal)
+		if !ok {
+			return fmt.Errorf("%s: unknown clock signal %q", a.Pos, a.Sens[0].Signal)
+		}
+		if clkSig.width() != 1 {
+			return fmt.Errorf("%s: clock %q is %d bits wide", a.Pos, clkSig.name, clkSig.width())
+		}
+		bank := ffBank{
+			clkNet:  clkSig.bits[0],
+			clkName: clkSig.name,
+			negedge: a.Sens[0].Edge == verilog.EdgeNeg,
+		}
+
+		// Every assigned signal becomes a bank of flip-flops. The final
+		// D value is the pending non-blocking update when present,
+		// otherwise the final blocking view.
+		target := make(map[*signal]vec)
+		for sig, v := range env.vals {
+			target[sig] = v
+		}
+		for sig, v := range env.nb {
+			target[sig] = v
+		}
+		for sig, d := range target {
+			if !sig.isReg {
+				return fmt.Errorf("%s: %q assigned in always block but not declared reg", a.Pos, sig.name)
+			}
+			if sig.clocked {
+				return fmt.Errorf("%s: %q assigned in more than one clocked block", a.Pos, sig.name)
+			}
+			sig.clocked = true
+			sig.driven = true
+			for i := range sig.bits {
+				bank.d = append(bank.d, d[i])
+				bank.q = append(bank.q, sig.bits[i])
+				bank.sig = append(bank.sig, sig)
+				bank.bit = append(bank.bit, i)
+			}
+		}
+		sc.el.ffBanks = append(sc.el.ffBanks, bank)
+		return nil
+	}
+
+	// Combinational block: drive the fixed nets; detect latches
+	// (incomplete assignment resolving to the signal's own output).
+	for sig, v := range env.vals {
+		if !sig.isReg {
+			return fmt.Errorf("%s: %q assigned in always block but not declared reg", a.Pos, sig.name)
+		}
+		for i := range sig.bits {
+			if v[i] == sig.bits[i] {
+				return fmt.Errorf("%s: %q is not assigned on every path through the combinational block (inferred latch)", a.Pos, sig.name)
+			}
+			sc.el.nl.AddGateOut(netlist.Buf, sig.bits[i], v[i])
+		}
+		sig.driven = true
+	}
+	if len(env.nb) != 0 {
+		return fmt.Errorf("%s: non-blocking assignment in combinational always block is not supported", a.Pos)
+	}
+	return nil
+}
+
+// exec symbolically executes a statement, updating env.
+func (sc *scope) exec(stmt verilog.Stmt, env *procEnv) error {
+	switch s := stmt.(type) {
+	case *verilog.NullStmt:
+		return nil
+	case *verilog.Block:
+		for _, sub := range s.Stmts {
+			if err := sc.exec(sub, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.Assign:
+		return sc.execAssign(s, env)
+	case *verilog.If:
+		return sc.execIf(s, env)
+	case *verilog.Case:
+		return sc.execCase(s, env)
+	case *verilog.For:
+		return sc.execFor(s, env)
+	}
+	return fmt.Errorf("synth: unsupported statement %T", stmt)
+}
+
+// execAssign evaluates RHS at the target width and installs the new
+// value into the blocking or non-blocking view.
+func (sc *scope) execAssign(s *verilog.Assign, env *procEnv) error {
+	cx := &evalCtx{sc: sc, env: env}
+	if !s.Blocking && !env.clocked {
+		return fmt.Errorf("%s: non-blocking assignment outside clocked block", s.Pos)
+	}
+	return sc.writeLValue(s.LHS, env, s.Blocking, func(width int) (vec, error) {
+		return cx.evalSized(s.RHS, width)
+	})
+}
+
+// writeLValue updates the procedural view of an lvalue: whole signals,
+// constant bit/part selects, dynamic bit selects (read-modify-write mux)
+// and concatenations.
+func (sc *scope) writeLValue(lhs verilog.Expr, env *procEnv, blocking bool, rhsFn func(width int) (vec, error)) error {
+	cx := &evalCtx{sc: sc, env: env}
+
+	// current returns the present value of sig in the appropriate view.
+	current := func(sig *signal) vec {
+		if !blocking {
+			if v, ok := env.nb[sig]; ok {
+				return v
+			}
+			// First non-blocking touch starts from the held value.
+			if v, ok := env.vals[sig]; ok {
+				return v
+			}
+			return sig.bits
+		}
+		if v, ok := env.vals[sig]; ok {
+			return v
+		}
+		return sig.bits
+	}
+	install := func(sig *signal, v vec) {
+		if blocking {
+			env.vals[sig] = v
+		} else {
+			env.nb[sig] = v
+		}
+	}
+
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		sig, ok := sc.lookupSignal(x.Name)
+		if !ok {
+			return fmt.Errorf("%s: unknown signal %q", x.Pos, x.Name)
+		}
+		rhs, err := rhsFn(sig.width())
+		if err != nil {
+			return err
+		}
+		install(sig, rhs)
+		return nil
+
+	case *verilog.Index:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("%s: unsupported lvalue", x.Pos)
+		}
+		sig, ok := sc.lookupSignal(id.Name)
+		if !ok {
+			return fmt.Errorf("%s: unknown signal %q", x.Pos, id.Name)
+		}
+		if sig.elems > 0 {
+			// Memory element write: constant indices slice the flat
+			// vector; dynamic indices decode to a per-element hold mux
+			// (the synchronous-RAM write port lowering).
+			w := sig.elemWidth()
+			rhs, err := rhsFn(w)
+			if err != nil {
+				return err
+			}
+			cur := current(sig)
+			out := make(vec, len(cur))
+			copy(out, cur)
+			if idx, cerr := sc.constEval(x.I); cerr == nil {
+				e := int(idx) - sig.alo
+				if e < 0 || e >= sig.elems {
+					return fmt.Errorf("%s: element %d out of range of %s", x.Pos, idx, sig.name)
+				}
+				copy(out[e*w:(e+1)*w], rhs)
+				install(sig, out)
+				return nil
+			}
+			wi, err := cx.selfWidth(x.I)
+			if err != nil {
+				return err
+			}
+			idxBits, err := cx.evalSized(x.I, wi)
+			if err != nil {
+				return err
+			}
+			if sig.alo != 0 {
+				idxBits, _ = sc.subVec(idxBits, constVec(uint64(sig.alo), wi))
+			}
+			for e := 0; e < sig.elems; e++ {
+				hit := sc.eqVec(idxBits, constVec(uint64(e), len(idxBits)))
+				for k := 0; k < w; k++ {
+					out[e*w+k] = sc.nl().AddGate(netlist.Mux, hit, cur[e*w+k], rhs[k])
+				}
+			}
+			install(sig, out)
+			return nil
+		}
+		rhs, err := rhsFn(1)
+		if err != nil {
+			return err
+		}
+		cur := current(sig)
+		out := make(vec, len(cur))
+		copy(out, cur)
+		if idx, cerr := sc.constEval(x.I); cerr == nil {
+			off, inRange := sig.offsetOf(int(idx))
+			if !inRange {
+				return fmt.Errorf("%s: bit select [%d] out of range of %s", x.Pos, idx, sig.name)
+			}
+			out[off] = rhs[0]
+			install(sig, out)
+			return nil
+		}
+		// Dynamic index: every bit holds unless the index matches.
+		if sig.msb < sig.lsb {
+			return fmt.Errorf("%s: dynamic bit select on ascending range is not supported", x.Pos)
+		}
+		wi, err := cx.selfWidth(x.I)
+		if err != nil {
+			return err
+		}
+		idxBits, err := cx.evalSized(x.I, wi)
+		if err != nil {
+			return err
+		}
+		if sig.lsb != 0 {
+			idxBits, _ = sc.subVec(idxBits, constVec(uint64(sig.lsb), wi))
+		}
+		for k := range out {
+			eq := sc.eqVec(idxBits, constVec(uint64(k), len(idxBits)))
+			out[k] = sc.nl().AddGate(netlist.Mux, eq, cur[k], rhs[0])
+		}
+		install(sig, out)
+		return nil
+
+	case *verilog.RangeSelect:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("%s: unsupported lvalue", x.Pos)
+		}
+		sig, ok := sc.lookupSignal(id.Name)
+		if !ok {
+			return fmt.Errorf("%s: unknown signal %q", x.Pos, id.Name)
+		}
+		lo, hi, err := sc.resolveRange(sig, x)
+		if err != nil {
+			return err
+		}
+		rhs, err := rhsFn(hi - lo + 1)
+		if err != nil {
+			return err
+		}
+		cur := current(sig)
+		out := make(vec, len(cur))
+		copy(out, cur)
+		copy(out[lo:hi+1], rhs)
+		install(sig, out)
+		return nil
+
+	case *verilog.Concat:
+		// Evaluate the full RHS once, then distribute slices MSB-first.
+		total := 0
+		widths := make([]int, len(x.Parts))
+		for i, p := range x.Parts {
+			lw, err := sc.lvalueWidth(p)
+			if err != nil {
+				return err
+			}
+			widths[i] = lw
+			total += lw
+		}
+		rhs, err := rhsFn(total)
+		if err != nil {
+			return err
+		}
+		// Parts are MSB-first: the last part takes the lowest bits.
+		off := 0
+		for i := len(x.Parts) - 1; i >= 0; i-- {
+			part := rhs[off : off+widths[i]]
+			off += widths[i]
+			if err := sc.writeLValue(x.Parts[i], env, blocking, func(w int) (vec, error) {
+				return extend(part, w, false), nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: unsupported lvalue expression", verilog.ExprPos(lhs))
+}
+
+// lvalueWidth computes the width of an assignment target.
+func (sc *scope) lvalueWidth(lhs verilog.Expr) (int, error) {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		sig, ok := sc.lookupSignal(x.Name)
+		if !ok {
+			return 0, fmt.Errorf("%s: unknown signal %q", x.Pos, x.Name)
+		}
+		return sig.width(), nil
+	case *verilog.Index:
+		if id, ok := x.X.(*verilog.Ident); ok {
+			if sig, ok := sc.lookupSignal(id.Name); ok && sig.elems > 0 {
+				return sig.elemWidth(), nil
+			}
+		}
+		return 1, nil
+	case *verilog.RangeSelect:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return 0, fmt.Errorf("%s: unsupported lvalue", x.Pos)
+		}
+		sig, ok := sc.lookupSignal(id.Name)
+		if !ok {
+			return 0, fmt.Errorf("%s: unknown signal %q", x.Pos, id.Name)
+		}
+		lo, hi, err := sc.resolveRange(sig, x)
+		if err != nil {
+			return 0, err
+		}
+		return hi - lo + 1, nil
+	case *verilog.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			w, err := sc.lvalueWidth(p)
+			if err != nil {
+				return 0, err
+			}
+			total += w
+		}
+		return total, nil
+	}
+	return 0, fmt.Errorf("%s: unsupported lvalue expression", verilog.ExprPos(lhs))
+}
+
+// execIf executes both branches on snapshots and merges them with muxes.
+func (sc *scope) execIf(s *verilog.If, env *procEnv) error {
+	cx := &evalCtx{sc: sc, env: env}
+	cond, err := cx.evalBool(s.Cond)
+	if err != nil {
+		return err
+	}
+	thenEnv := env.clone()
+	if err := sc.exec(s.Then, thenEnv); err != nil {
+		return err
+	}
+	elseEnv := env.clone()
+	if s.Else != nil {
+		if err := sc.exec(s.Else, elseEnv); err != nil {
+			return err
+		}
+	}
+	sc.mergeEnv(env, cond, thenEnv, elseEnv)
+	return nil
+}
+
+// mergeEnv folds two branch environments back into env: for every signal
+// touched by either branch, the merged value selects the then-value when
+// cond is 1.
+func (sc *scope) mergeEnv(env *procEnv, cond netlist.NetID, thenEnv, elseEnv *procEnv) {
+	mergeMap := func(get func(*procEnv) map[*signal]vec, fallback func(*signal) vec) {
+		touched := make(map[*signal]bool)
+		for sig := range get(thenEnv) {
+			touched[sig] = true
+		}
+		for sig := range get(elseEnv) {
+			touched[sig] = true
+		}
+		for sig := range touched {
+			tv, ok := get(thenEnv)[sig]
+			if !ok {
+				tv = fallback(sig)
+			}
+			ev, ok := get(elseEnv)[sig]
+			if !ok {
+				ev = fallback(sig)
+			}
+			if sameVec(tv, ev) {
+				get(env)[sig] = tv
+				continue
+			}
+			get(env)[sig] = sc.muxVec(cond, ev, tv)
+		}
+	}
+	mergeMap(func(e *procEnv) map[*signal]vec { return e.vals },
+		func(sig *signal) vec {
+			if v, ok := env.vals[sig]; ok {
+				return v
+			}
+			return sig.bits
+		})
+	mergeMap(func(e *procEnv) map[*signal]vec { return e.nb },
+		func(sig *signal) vec {
+			if v, ok := env.nb[sig]; ok {
+				return v
+			}
+			if v, ok := env.vals[sig]; ok {
+				return v
+			}
+			return sig.bits
+		})
+}
+
+func sameVec(a, b vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// execCase lowers a case statement to a chain of equality-guarded
+// branches. casez/casex labels may contain wildcard bits, which are
+// excluded from the comparison; such labels must be literals.
+func (sc *scope) execCase(s *verilog.Case, env *procEnv) error {
+	cx := &evalCtx{sc: sc, env: env}
+	sw, err := cx.selfWidth(s.Expr)
+	if err != nil {
+		return err
+	}
+	width := sw
+	for _, item := range s.Items {
+		for _, lbl := range item.Labels {
+			lw, err := cx.selfWidth(lbl)
+			if err != nil {
+				return err
+			}
+			if lw > width {
+				width = lw
+			}
+		}
+	}
+	sel, err := cx.evalSized(s.Expr, width)
+	if err != nil {
+		return err
+	}
+
+	// labelMatch builds the 1-bit match condition for one label.
+	labelMatch := func(lbl verilog.Expr) (netlist.NetID, error) {
+		if s.Kind != verilog.CaseNormal {
+			num, ok := lbl.(*verilog.NumberExpr)
+			if !ok {
+				return 0, fmt.Errorf("%s: casez/casex labels must be literals", verilog.ExprPos(lbl))
+			}
+			var cares vec
+			var want vec
+			for i := 0; i < width; i++ {
+				if num.Num.WildBit(i) {
+					continue
+				}
+				cares = append(cares, sel[i])
+				if num.Num.Bit(i) {
+					want = append(want, netlist.ConstOne)
+				} else {
+					want = append(want, netlist.ConstZero)
+				}
+			}
+			return sc.eqVec(cares, want), nil
+		}
+		lv, err := cx.evalSized(lbl, width)
+		if err != nil {
+			return 0, err
+		}
+		return sc.eqVec(sel, lv), nil
+	}
+
+	// Build per-arm match conditions. Arms are prioritised in source
+	// order; the one-hot selects below preserve that while keeping the
+	// selection logic at logarithmic depth (a linear if-else chain would
+	// give a 256-level mux cascade for an 8-bit S-box case).
+	arms := make([]caseArm, 0, len(s.Items))
+	exclusive := allDistinctConstLabels(s)
+	sawDefault := false
+	for i := range s.Items {
+		item := &s.Items[i]
+		if item.Default {
+			if sawDefault {
+				continue // duplicate defaults are unreachable
+			}
+			sawDefault = true
+			arms = append(arms, caseArm{def: true, body: item.Body})
+			continue
+		}
+		conds := make(vec, 0, len(item.Labels))
+		for _, lbl := range item.Labels {
+			c, err := labelMatch(lbl)
+			if err != nil {
+				return err
+			}
+			conds = append(conds, c)
+		}
+		arms = append(arms, caseArm{cond: sc.reduceTree(netlist.Or, conds), body: item.Body})
+	}
+
+	// One-hot priority: prio_i = cond_i AND no earlier cond. When all
+	// labels are distinct constants the conditions are already mutually
+	// exclusive and the prefix network is skipped.
+	prios := make(vec, len(arms))
+	var nonDefault vec
+	for _, a := range arms {
+		if !a.def {
+			nonDefault = append(nonDefault, a.cond)
+		}
+	}
+	matchAny := sc.reduceTree(netlist.Or, nonDefault)
+	noMatch := sc.nl().AddGate(netlist.Not, matchAny)
+	before := netlist.ConstZero
+	for i := range arms {
+		switch {
+		case arms[i].def:
+			prios[i] = noMatch
+		case exclusive:
+			prios[i] = arms[i].cond
+		default:
+			notBefore := sc.nl().AddGate(netlist.Not, before)
+			prios[i] = sc.nl().AddGate(netlist.And, arms[i].cond, notBefore)
+			before = sc.nl().AddGate(netlist.Or, before, arms[i].cond)
+		}
+	}
+
+	// Execute every arm against a snapshot of the incoming environment
+	// (arms are mutually exclusive, so each sees the pre-case state).
+	for i := range arms {
+		armEnv := env.clone()
+		if err := sc.exec(arms[i].body, armEnv); err != nil {
+			return err
+		}
+		arms[i].env = armEnv
+	}
+
+	// Merge: for every touched signal, each bit is the balanced OR of
+	// (prio_i AND arm value) plus the fall-through of the untouched case.
+	sc.mergeArms(env, prios, arms, noMatch, sawDefault)
+	return nil
+}
+
+// caseArm is one executed arm of a case statement.
+type caseArm struct {
+	cond netlist.NetID // raw match condition (defaults: unset)
+	def  bool
+	body verilog.Stmt
+	env  *procEnv
+}
+
+// mergeArms folds the arm environments back into env using one-hot
+// selector bits and balanced OR trees.
+func (sc *scope) mergeArms(env *procEnv, prios vec, arms []caseArm, noMatch netlist.NetID, sawDefault bool) {
+	mergeView := func(view func(*procEnv) map[*signal]vec, fallback func(*signal) vec) {
+		touched := make(map[*signal]bool)
+		for _, a := range arms {
+			for sig := range view(a.env) {
+				touched[sig] = true
+			}
+		}
+		for sig := range touched {
+			base := fallback(sig)
+			width := len(base)
+			out := make(vec, width)
+			for b := 0; b < width; b++ {
+				var terms vec
+				for i, a := range arms {
+					bit := base[b]
+					if v, ok := view(a.env)[sig]; ok {
+						bit = v[b]
+					}
+					terms = append(terms, sc.nl().AddGate(netlist.And, prios[i], bit))
+				}
+				if !sawDefault {
+					// No default arm: when nothing matches, hold the base.
+					terms = append(terms, sc.nl().AddGate(netlist.And, noMatch, base[b]))
+				}
+				out[b] = sc.reduceTree(netlist.Or, terms)
+			}
+			view(env)[sig] = out
+		}
+	}
+	mergeView(func(e *procEnv) map[*signal]vec { return e.vals },
+		func(sig *signal) vec {
+			if v, ok := env.vals[sig]; ok {
+				return v
+			}
+			return sig.bits
+		})
+	mergeView(func(e *procEnv) map[*signal]vec { return e.nb },
+		func(sig *signal) vec {
+			if v, ok := env.nb[sig]; ok {
+				return v
+			}
+			if v, ok := env.vals[sig]; ok {
+				return v
+			}
+			return sig.bits
+		})
+}
+
+// allDistinctConstLabels reports whether every arm label is a wild-free
+// constant literal and no two labels collide — in that case the match
+// conditions are mutually exclusive and need no priority network.
+func allDistinctConstLabels(s *verilog.Case) bool {
+	seen := make(map[uint64]bool)
+	for i := range s.Items {
+		for _, lbl := range s.Items[i].Labels {
+			num, ok := lbl.(*verilog.NumberExpr)
+			if !ok || num.Num.HasWild() || len(num.Num.Words) == 0 {
+				return false
+			}
+			if len(num.Num.Words) > 1 {
+				for _, w := range num.Num.Words[1:] {
+					if w != 0 {
+						return false // wide labels: just use the network
+					}
+				}
+			}
+			v := num.Num.Uint64()
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+	}
+	return true
+}
+
+// execFor unrolls a for loop with constant bounds, binding the loop
+// variable as an elaboration constant in a child scope.
+func (sc *scope) execFor(s *verilog.For, env *procEnv) error {
+	if s.Var != s.StepVar {
+		return fmt.Errorf("%s: for-loop step must update loop variable %q", s.Pos, s.Var)
+	}
+	v, err := sc.constEval(s.Init)
+	if err != nil {
+		return fmt.Errorf("%s: for-loop bounds must be elaboration-time constants: %v", s.Pos, err)
+	}
+	const maxIter = 1 << 20
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return fmt.Errorf("%s: for loop exceeds %d iterations", s.Pos, maxIter)
+		}
+		iterScope := newScope(sc.el, sc, sc.mod)
+		iterScope.params[s.Var] = v
+		cond, err := iterScope.constEval(s.Cond)
+		if err != nil {
+			return err
+		}
+		if cond == 0 {
+			return nil
+		}
+		if err := iterScope.exec(s.Body, env); err != nil {
+			return err
+		}
+		next, err := iterScope.constEval(s.Step)
+		if err != nil {
+			return err
+		}
+		if next == v {
+			return fmt.Errorf("%s: for loop does not progress", s.Pos)
+		}
+		v = next
+	}
+}
+
+// callFunction inlines a function call: a fresh scope binds arguments,
+// the body executes symbolically, and the value assigned to the function
+// name is the result.
+func (cx *evalCtx) callFunction(call *verilog.Call) (vec, error) {
+	sc := cx.sc
+	fn, ok := sc.lookupFunc(call.Name)
+	if !ok {
+		return nil, fmt.Errorf("%s: unknown function %q", call.Pos, call.Name)
+	}
+	if sc.el.funcDepth > 32 {
+		return nil, fmt.Errorf("%s: function call nesting exceeds 32 (recursion?)", call.Pos)
+	}
+
+	fs := newScope(sc.el, sc, sc.mod)
+	// Result variable.
+	retDecl := &verilog.NetDecl{Pos: fn.Pos, IsReg: true, MSB: fn.MSB, LSB: fn.LSB,
+		Names: []verilog.DeclName{{Name: fn.Name, Pos: fn.Pos}}}
+	if err := fs.declareNet(retDecl); err != nil {
+		return nil, err
+	}
+	for _, d := range fn.Inputs {
+		if err := fs.declareNet(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range fn.Locals {
+		if err := fs.declareNet(d); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bind arguments in declaration order.
+	var argNames []string
+	var argSigs []*signal
+	for _, d := range fn.Inputs {
+		for _, dn := range d.Names {
+			argNames = append(argNames, dn.Name)
+			s, _ := fs.signals[dn.Name]
+			argSigs = append(argSigs, s)
+		}
+	}
+	if len(call.Args) != len(argNames) {
+		return nil, fmt.Errorf("%s: function %q expects %d arguments, got %d",
+			call.Pos, call.Name, len(argNames), len(call.Args))
+	}
+
+	env := newProcEnv(false)
+	if cx.env != nil {
+		// Inherit the caller's procedural view for reads of module
+		// signals inside the function body.
+		env = cx.env.clone()
+		env.clocked = false
+	}
+	for i, arg := range call.Args {
+		v, err := cx.evalSized(arg, argSigs[i].width())
+		if err != nil {
+			return nil, err
+		}
+		env.vals[argSigs[i]] = v
+	}
+
+	sc.el.funcDepth++
+	err := fs.exec(fn.Body, env)
+	sc.el.funcDepth--
+	if err != nil {
+		return nil, err
+	}
+	retSig := fs.signals[fn.Name]
+	result, ok := env.vals[retSig]
+	if !ok {
+		return nil, fmt.Errorf("%s: function %q never assigns its result", call.Pos, call.Name)
+	}
+	return result, nil
+}

@@ -1,0 +1,200 @@
+// Package testbench implements a small stimulus-script format for
+// driving compiled models — the "verification benchmarks" of the
+// paper's workflow (§II-A), as files rather than hard-coded drivers.
+//
+// Script syntax (one directive per line, '#' comments):
+//
+//	set <port> <value> [value ...]   load an input; one value per batch
+//	                                 lane, the last value broadcasts to
+//	                                 the remaining lanes
+//	step [n]                         advance n clock cycles (default 1)
+//	eval                             settle combinational logic only
+//	expect <port> <value> [value...] compare output lanes; mismatches fail
+//	expect_all <port> <value>        compare every lane to one value
+//	reset                            reset flip-flop state in every lane
+//
+// Values may be decimal, 0x… hex or 0b… binary.
+package testbench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"c2nn/internal/simengine"
+)
+
+// Op enumerates directive kinds.
+type Op int
+
+// Directive kinds.
+const (
+	OpSet Op = iota
+	OpStep
+	OpEval
+	OpExpect
+	OpExpectAll
+	OpReset
+)
+
+// Directive is one parsed script line.
+type Directive struct {
+	Op     Op
+	Line   int
+	Port   string
+	Values []uint64
+	Count  int // step count
+}
+
+// Script is a parsed testbench.
+type Script struct {
+	Directives []Directive
+}
+
+// Parse reads a testbench script.
+func Parse(src string) (*Script, error) {
+	s := &Script{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		lineNo := ln + 1
+		d := Directive{Line: lineNo}
+		switch fields[0] {
+		case "set", "expect", "expect_all":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("line %d: %s needs a port and at least one value", lineNo, fields[0])
+			}
+			d.Port = fields[1]
+			for _, f := range fields[2:] {
+				v, err := parseValue(f)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				d.Values = append(d.Values, v)
+			}
+			switch fields[0] {
+			case "set":
+				d.Op = OpSet
+			case "expect":
+				d.Op = OpExpect
+			default:
+				d.Op = OpExpectAll
+				if len(d.Values) != 1 {
+					return nil, fmt.Errorf("line %d: expect_all takes exactly one value", lineNo)
+				}
+			}
+		case "step":
+			d.Op = OpStep
+			d.Count = 1
+			if len(fields) > 1 {
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("line %d: bad step count %q", lineNo, fields[1])
+				}
+				d.Count = n
+			}
+		case "eval":
+			d.Op = OpEval
+		case "reset":
+			d.Op = OpReset
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+		s.Directives = append(s.Directives, d)
+	}
+	return s, nil
+}
+
+func parseValue(s string) (uint64, error) {
+	base := 10
+	digits := s
+	switch {
+	case strings.HasPrefix(s, "0x"), strings.HasPrefix(s, "0X"):
+		base, digits = 16, s[2:]
+	case strings.HasPrefix(s, "0b"), strings.HasPrefix(s, "0B"):
+		base, digits = 2, s[2:]
+	}
+	v, err := strconv.ParseUint(strings.ReplaceAll(digits, "_", ""), base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// Result summarises a run.
+type Result struct {
+	Steps   int
+	Checks  int
+	Applied int
+}
+
+// Run executes the script against an engine. The first failed
+// expectation aborts with an error naming the script line.
+func (s *Script) Run(eng *simengine.Engine) (Result, error) {
+	var res Result
+	batch := eng.Batch()
+	settled := false
+
+	expand := func(values []uint64) []uint64 {
+		out := make([]uint64, batch)
+		for b := 0; b < batch; b++ {
+			if b < len(values) {
+				out[b] = values[b]
+			} else {
+				out[b] = values[len(values)-1]
+			}
+		}
+		return out
+	}
+
+	for _, d := range s.Directives {
+		switch d.Op {
+		case OpSet:
+			if err := eng.SetInput(d.Port, expand(d.Values)); err != nil {
+				return res, fmt.Errorf("line %d: %v", d.Line, err)
+			}
+			settled = false
+			res.Applied++
+		case OpStep:
+			for i := 0; i < d.Count; i++ {
+				eng.Step()
+				res.Steps++
+			}
+			settled = false
+		case OpEval:
+			eng.Forward()
+			settled = true
+		case OpReset:
+			eng.Reset()
+			settled = false
+		case OpExpect, OpExpectAll:
+			if !settled {
+				eng.Forward()
+				settled = true
+			}
+			got, err := eng.GetOutput(d.Port)
+			if err != nil {
+				return res, fmt.Errorf("line %d: %v", d.Line, err)
+			}
+			want := expand(d.Values)
+			lanes := len(d.Values)
+			if d.Op == OpExpectAll {
+				lanes = batch
+			}
+			for b := 0; b < lanes && b < batch; b++ {
+				res.Checks++
+				if got[b] != want[b] {
+					return res, fmt.Errorf("line %d: %s lane %d = %#x, want %#x",
+						d.Line, d.Port, b, got[b], want[b])
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,279 @@
+// Package truthtab implements packed truth tables — the LUT
+// representation of Boolean functions produced by technology mapping
+// (paper Fig. 3) and consumed by the polynomial converter (Algorithm 1).
+//
+// A table over k variables stores 2^k result bits packed into uint64
+// words; bit i is the function value for the input assignment whose
+// binary encoding is i (variable 0 is the least significant input).
+package truthtab
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxVars bounds the supported LUT size. 2^24 bits = 2 MiB per table;
+// the paper's experiments go up to L = 11 and Fig. 4 up to ~20.
+const MaxVars = 24
+
+// Table is a packed truth table over NumVars inputs.
+type Table struct {
+	NumVars int
+	Words   []uint64
+}
+
+// New returns an all-false table over k variables.
+func New(k int) Table {
+	if k < 0 || k > MaxVars {
+		panic(fmt.Sprintf("truthtab: invalid variable count %d", k))
+	}
+	return Table{NumVars: k, Words: make([]uint64, wordsFor(k))}
+}
+
+func wordsFor(k int) int {
+	if k <= 6 {
+		return 1
+	}
+	return 1 << uint(k-6)
+}
+
+// Size returns the number of rows (2^k).
+func (t Table) Size() int { return 1 << uint(t.NumVars) }
+
+// Bit returns the function value for input assignment i.
+func (t Table) Bit(i int) bool {
+	return t.Words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// SetBit sets the function value for input assignment i.
+func (t *Table) SetBit(i int, v bool) {
+	if v {
+		t.Words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		t.Words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// mask returns the valid-bit mask for the last word of a k-variable
+// table (tables with k < 6 occupy part of one word).
+func mask(k int) uint64 {
+	if k >= 6 {
+		return ^uint64(0)
+	}
+	return 1<<(1<<uint(k)) - 1
+}
+
+// Var returns the projection table of variable v over k variables:
+// f(x) = x_v.
+func Var(k, v int) Table {
+	if v < 0 || v >= k {
+		panic(fmt.Sprintf("truthtab: variable %d out of range for %d-input table", v, k))
+	}
+	t := New(k)
+	if v < 6 {
+		// Pattern within a word: blocks of 2^v ones.
+		var w uint64
+		block := 1 << uint(v)
+		for i := 0; i < 64; i++ {
+			if i/block%2 == 1 {
+				w |= 1 << uint(i)
+			}
+		}
+		for i := range t.Words {
+			t.Words[i] = w
+		}
+	} else {
+		// Whole words alternate in blocks of 2^(v-6).
+		block := 1 << uint(v-6)
+		for i := range t.Words {
+			if i/block%2 == 1 {
+				t.Words[i] = ^uint64(0)
+			}
+		}
+	}
+	t.Words[len(t.Words)-1] &= mask(k)
+	return t
+}
+
+// Const returns the constant table over k variables.
+func Const(k int, v bool) Table {
+	t := New(k)
+	if v {
+		for i := range t.Words {
+			t.Words[i] = ^uint64(0)
+		}
+		t.Words[len(t.Words)-1] &= mask(k)
+	}
+	return t
+}
+
+func (t Table) check(o Table) {
+	if t.NumVars != o.NumVars {
+		panic("truthtab: mixed-arity table operation")
+	}
+}
+
+// And returns t AND o.
+func (t Table) And(o Table) Table {
+	t.check(o)
+	r := New(t.NumVars)
+	for i := range r.Words {
+		r.Words[i] = t.Words[i] & o.Words[i]
+	}
+	return r
+}
+
+// Or returns t OR o.
+func (t Table) Or(o Table) Table {
+	t.check(o)
+	r := New(t.NumVars)
+	for i := range r.Words {
+		r.Words[i] = t.Words[i] | o.Words[i]
+	}
+	return r
+}
+
+// Xor returns t XOR o.
+func (t Table) Xor(o Table) Table {
+	t.check(o)
+	r := New(t.NumVars)
+	for i := range r.Words {
+		r.Words[i] = t.Words[i] ^ o.Words[i]
+	}
+	return r
+}
+
+// Not returns the complement of t.
+func (t Table) Not() Table {
+	r := New(t.NumVars)
+	for i := range r.Words {
+		r.Words[i] = ^t.Words[i]
+	}
+	r.Words[len(r.Words)-1] &= mask(t.NumVars)
+	return r
+}
+
+// Mux returns sel ? b : a, pointwise.
+func Mux(sel, a, b Table) Table {
+	sel.check(a)
+	sel.check(b)
+	r := New(sel.NumVars)
+	for i := range r.Words {
+		r.Words[i] = (a.Words[i] &^ sel.Words[i]) | (b.Words[i] & sel.Words[i])
+	}
+	return r
+}
+
+// Equal reports exact equality.
+func (t Table) Equal(o Table) bool {
+	if t.NumVars != o.NumVars {
+		return false
+	}
+	for i := range t.Words {
+		if t.Words[i] != o.Words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountOnes returns the number of satisfying assignments.
+func (t Table) CountOnes() int {
+	n := 0
+	for _, w := range t.Words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsConst reports whether the table is constant, and the value.
+func (t Table) IsConst() (bool, bool) {
+	ones := t.CountOnes()
+	if ones == 0 {
+		return true, false
+	}
+	if ones == t.Size() {
+		return true, true
+	}
+	return false, false
+}
+
+// DependsOn reports whether the function actually depends on variable v
+// (its positive and negative cofactors differ).
+func (t Table) DependsOn(v int) bool {
+	p := Var(t.NumVars, v)
+	for i := 0; i < t.Size(); i++ {
+		if p.Bit(i) {
+			continue // visit each pair once, from the v=0 side
+		}
+		if t.Bit(i) != t.Bit(i|1<<uint(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval applies the table to a concrete input assignment (bit i of x is
+// variable i).
+func (t Table) Eval(x uint64) bool {
+	return t.Bit(int(x & uint64(t.Size()-1)))
+}
+
+// Influence returns the influence of variable v: the probability over a
+// uniform input that flipping v flips the output — the quantity the
+// Analysis of Boolean Functions links to circuit sensitivity and
+// polynomial density (paper §II-B, O'Donnell 2014).
+func (t Table) Influence(v int) float64 {
+	if t.NumVars == 0 || v < 0 || v >= t.NumVars {
+		return 0
+	}
+	flips := 0
+	bit := 1 << uint(v)
+	for i := 0; i < t.Size(); i++ {
+		if i&bit != 0 {
+			continue // count each complementary pair once
+		}
+		if t.Bit(i) != t.Bit(i|bit) {
+			flips += 2
+		}
+	}
+	return float64(flips) / float64(t.Size())
+}
+
+// TotalInfluence returns the sum of variable influences (the average
+// sensitivity of the function).
+func (t Table) TotalInfluence() float64 {
+	total := 0.0
+	for v := 0; v < t.NumVars; v++ {
+		total += t.Influence(v)
+	}
+	return total
+}
+
+// String renders small tables as a binary row string (MSB row first),
+// larger tables as a hex digest.
+func (t Table) String() string {
+	if t.NumVars <= 6 {
+		var b strings.Builder
+		for i := t.Size() - 1; i >= 0; i-- {
+			if t.Bit(i) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("table[%d vars, %d ones]", t.NumVars, t.CountOnes())
+}
+
+// FromBits builds a table from an explicit row-value slice (row i =
+// value for assignment i).
+func FromBits(k int, rows []bool) Table {
+	t := New(k)
+	for i, v := range rows {
+		t.SetBit(i, v)
+	}
+	return t
+}

@@ -1,0 +1,174 @@
+package truthtab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVarProjection(t *testing.T) {
+	for k := 1; k <= 9; k++ {
+		for v := 0; v < k; v++ {
+			tab := Var(k, v)
+			for i := 0; i < tab.Size(); i++ {
+				want := i>>uint(v)&1 == 1
+				if tab.Bit(i) != want {
+					t.Fatalf("Var(%d,%d).Bit(%d) = %v", k, v, i, tab.Bit(i))
+				}
+			}
+		}
+	}
+}
+
+func TestConst(t *testing.T) {
+	for k := 0; k <= 8; k++ {
+		c1 := Const(k, true)
+		c0 := Const(k, false)
+		if c1.CountOnes() != c1.Size() || c0.CountOnes() != 0 {
+			t.Fatalf("k=%d: ones=%d/%d", k, c1.CountOnes(), c0.CountOnes())
+		}
+		if ok, v := c1.IsConst(); !ok || !v {
+			t.Fatal("IsConst(true) failed")
+		}
+		if ok, v := c0.IsConst(); !ok || v {
+			t.Fatal("IsConst(false) failed")
+		}
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	k := 7 // spans two words
+	a := Var(k, 2)
+	b := Var(k, 6)
+	and := a.And(b)
+	or := a.Or(b)
+	xor := a.Xor(b)
+	not := a.Not()
+	mux := Mux(Var(k, 0), a, b)
+	for i := 0; i < 1<<uint(k); i++ {
+		av := i>>2&1 == 1
+		bv := i>>6&1 == 1
+		sv := i&1 == 1
+		if and.Bit(i) != (av && bv) || or.Bit(i) != (av || bv) || xor.Bit(i) != (av != bv) || not.Bit(i) == av {
+			t.Fatalf("op mismatch at %d", i)
+		}
+		wantMux := av
+		if sv {
+			wantMux = bv
+		}
+		if mux.Bit(i) != wantMux {
+			t.Fatalf("mux mismatch at %d", i)
+		}
+	}
+}
+
+func TestSetBitRoundTrip(t *testing.T) {
+	f := func(rows []bool) bool {
+		k := 4
+		if len(rows) > 16 {
+			rows = rows[:16]
+		}
+		tab := FromBits(k, rows)
+		for i, v := range rows {
+			if tab.Bit(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	k := 5
+	// f = x1 XOR x3 depends on exactly vars 1 and 3.
+	f := Var(k, 1).Xor(Var(k, 3))
+	for v := 0; v < k; v++ {
+		want := v == 1 || v == 3
+		if f.DependsOn(v) != want {
+			t.Errorf("DependsOn(%d) = %v", v, f.DependsOn(v))
+		}
+	}
+}
+
+func TestEvalAgainstBit(t *testing.T) {
+	tab := Var(3, 0).And(Var(3, 2)).Or(Var(3, 1).Not())
+	for i := uint64(0); i < 8; i++ {
+		if tab.Eval(i) != tab.Bit(int(i)) {
+			t.Fatalf("Eval(%d) != Bit", i)
+		}
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := Var(3, 1)
+	b := Var(3, 1)
+	c := Var(3, 2)
+	if !a.Equal(b) || a.Equal(c) || a.Equal(Var(4, 1)) {
+		t.Fatal("Equal broken")
+	}
+	if a.String() != "11001100" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if Var(8, 1).String() == "" {
+		t.Fatal("large table String empty")
+	}
+}
+
+func TestLastWordMasked(t *testing.T) {
+	// k=3 occupies 8 bits of one word; Not must not set garbage above.
+	n := Const(3, false).Not()
+	if n.Words[0] != 0xff {
+		t.Fatalf("mask leak: %x", n.Words[0])
+	}
+}
+
+func TestInfluenceKnownFunctions(t *testing.T) {
+	// AND_n: each input has influence 2^(1-n) (it matters only when all
+	// others are 1).
+	for n := 1; n <= 8; n++ {
+		and := Const(n, true)
+		for v := 0; v < n; v++ {
+			and = and.And(Var(n, v))
+		}
+		want := 1.0
+		for i := 1; i < n; i++ {
+			want /= 2
+		}
+		for v := 0; v < n; v++ {
+			if got := and.Influence(v); got != want {
+				t.Fatalf("AND_%d influence(%d) = %v, want %v", n, v, got, want)
+			}
+		}
+	}
+	// XOR_n: every input has influence 1; total influence = n.
+	n := 6
+	xor := Const(n, false)
+	for v := 0; v < n; v++ {
+		xor = xor.Xor(Var(n, v))
+	}
+	for v := 0; v < n; v++ {
+		if got := xor.Influence(v); got != 1 {
+			t.Fatalf("XOR influence(%d) = %v", v, got)
+		}
+	}
+	if got := xor.TotalInfluence(); got != float64(n) {
+		t.Fatalf("XOR total influence = %v", got)
+	}
+	// Constants and irrelevant variables have zero influence.
+	if Const(4, true).TotalInfluence() != 0 {
+		t.Fatal("constant has influence")
+	}
+	proj := Var(4, 2)
+	if proj.Influence(2) != 1 || proj.Influence(0) != 0 {
+		t.Fatal("projection influences wrong")
+	}
+	// DependsOn agrees with Influence > 0.
+	f := Var(5, 1).And(Var(5, 3)).Xor(Var(5, 0))
+	for v := 0; v < 5; v++ {
+		if f.DependsOn(v) != (f.Influence(v) > 0) {
+			t.Fatalf("DependsOn(%d) disagrees with Influence", v)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package vcd writes Value Change Dump (IEEE 1364 §18) waveform files,
+// the interchange format every RTL waveform viewer reads. The gate-level
+// simulators and the NN engine can attach a Writer to trace port
+// activity cycle by cycle.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// VarID identifies a declared variable.
+type VarID int
+
+// Writer emits a VCD stream. Declare variables, call EndHeader, then
+// alternate SetTime and Change calls. Values are change-compressed: a
+// Change with the previous value emits nothing.
+type Writer struct {
+	bw          *bufio.Writer
+	vars        []vcdVar
+	header      bool
+	time        uint64
+	timeEmitted bool
+	err         error
+}
+
+type vcdVar struct {
+	name  string
+	width int
+	code  string
+	last  string
+}
+
+// NewWriter starts a VCD stream with the given timescale (e.g. "1ns";
+// one Step of a cycle simulator is conventionally one timescale unit).
+func NewWriter(w io.Writer, timescale, module string) *Writer {
+	vw := &Writer{bw: bufio.NewWriter(w)}
+	fmt.Fprintf(vw.bw, "$date\n  c2nn simulation\n$end\n")
+	fmt.Fprintf(vw.bw, "$version\n  c2nn vcd writer\n$end\n")
+	fmt.Fprintf(vw.bw, "$timescale %s $end\n", timescale)
+	fmt.Fprintf(vw.bw, "$scope module %s $end\n", sanitize(module))
+	return vw
+}
+
+// identifier codes: printable ASCII 33..126, multi-char counting.
+func code(i int) string {
+	const lo, hi = 33, 127
+	n := hi - lo
+	var b []byte
+	for {
+		b = append(b, byte(lo+i%n))
+		i /= n
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(b)
+}
+
+func sanitize(s string) string {
+	if s == "" {
+		return "top"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '$' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// DeclareVar registers a variable of the given bit width and returns its
+// handle. Must precede EndHeader.
+func (w *Writer) DeclareVar(name string, width int) VarID {
+	if w.header {
+		w.fail(fmt.Errorf("vcd: DeclareVar after EndHeader"))
+		return -1
+	}
+	id := VarID(len(w.vars))
+	c := code(len(w.vars))
+	w.vars = append(w.vars, vcdVar{name: sanitize(name), width: width, code: c})
+	if width == 1 {
+		fmt.Fprintf(w.bw, "$var wire 1 %s %s $end\n", c, sanitize(name))
+	} else {
+		fmt.Fprintf(w.bw, "$var wire %d %s %s [%d:0] $end\n", width, c, sanitize(name), width-1)
+	}
+	return id
+}
+
+// EndHeader closes declarations and emits the initial dump section.
+func (w *Writer) EndHeader() {
+	if w.header {
+		return
+	}
+	w.header = true
+	fmt.Fprintf(w.bw, "$upscope $end\n$enddefinitions $end\n")
+	fmt.Fprintf(w.bw, "$dumpvars\n")
+	for i := range w.vars {
+		v := &w.vars[i]
+		v.last = strings.Repeat("x", v.width)
+		w.emit(v, v.last)
+	}
+	fmt.Fprintf(w.bw, "$end\n")
+}
+
+// SetTime advances simulation time; must be monotone.
+func (w *Writer) SetTime(t uint64) {
+	if !w.header {
+		w.EndHeader()
+	}
+	if t < w.time {
+		w.fail(fmt.Errorf("vcd: time moved backwards (%d -> %d)", w.time, t))
+		return
+	}
+	if t != w.time || !w.timeEmitted {
+		fmt.Fprintf(w.bw, "#%d\n", t)
+		w.time = t
+		w.timeEmitted = true
+	}
+}
+
+// Change records a new value (low `width` bits of v) for the variable.
+func (w *Writer) Change(id VarID, v uint64) {
+	if id < 0 || int(id) >= len(w.vars) {
+		w.fail(fmt.Errorf("vcd: invalid var id %d", id))
+		return
+	}
+	if !w.header {
+		w.EndHeader()
+	}
+	vr := &w.vars[id]
+	s := formatBits(v, vr.width)
+	if s == vr.last {
+		return
+	}
+	vr.last = s
+	w.emit(vr, s)
+}
+
+// ChangeBits records a new value from a bit slice (LSB-first).
+func (w *Writer) ChangeBits(id VarID, bits []bool) {
+	var v uint64
+	for i, b := range bits {
+		if b && i < 64 {
+			v |= 1 << uint(i)
+		}
+	}
+	w.Change(id, v)
+}
+
+func formatBits(v uint64, width int) string {
+	var b strings.Builder
+	for i := width - 1; i >= 0; i-- {
+		if i < 64 && v>>uint(i)&1 == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func (w *Writer) emit(v *vcdVar, s string) {
+	if v.width == 1 {
+		fmt.Fprintf(w.bw, "%s%s\n", s, v.code)
+	} else {
+		fmt.Fprintf(w.bw, "b%s %s\n", s, v.code)
+	}
+}
+
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Close flushes the stream and reports the first error encountered.
+func (w *Writer) Close() error {
+	if !w.header {
+		w.EndHeader()
+	}
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// PortTracer couples a Writer to a set of named multi-bit ports and
+// records one sample per cycle; both gatesim and the NN engine drive it
+// through the Sample callback.
+type PortTracer struct {
+	w     *Writer
+	ids   map[string]VarID
+	names []string
+}
+
+// NewPortTracer declares one VCD variable per (name, width) pair, in
+// sorted name order.
+func NewPortTracer(w *Writer, widths map[string]int) *PortTracer {
+	t := &PortTracer{w: w, ids: make(map[string]VarID, len(widths))}
+	for name := range widths {
+		t.names = append(t.names, name)
+	}
+	sort.Strings(t.names)
+	for _, name := range t.names {
+		t.ids[name] = w.DeclareVar(name, widths[name])
+	}
+	w.EndHeader()
+	return t
+}
+
+// Sample records the port values for one cycle.
+func (t *PortTracer) Sample(cycle uint64, values map[string]uint64) {
+	t.w.SetTime(cycle)
+	for _, name := range t.names {
+		if v, ok := values[name]; ok {
+			t.w.Change(t.ids[name], v)
+		}
+	}
+}
+
+// Close flushes the underlying writer.
+func (t *PortTracer) Close() error { return t.w.Close() }

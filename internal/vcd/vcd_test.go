@@ -1,0 +1,119 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeaderAndChanges(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "1ns", "tb top")
+	clk := w.DeclareVar("clk", 1)
+	bus := w.DeclareVar("data", 8)
+	w.EndHeader()
+
+	w.SetTime(0)
+	w.Change(clk, 0)
+	w.Change(bus, 0xA5)
+	w.SetTime(1)
+	w.Change(clk, 1)
+	w.Change(bus, 0xA5) // unchanged: must not emit
+	w.SetTime(2)
+	w.Change(clk, 0)
+	w.Change(bus, 0x5A)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module tb_top $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 8 \" data [7:0] $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#0", "#1", "#2",
+		"0!", "1!",
+		"b10100101 \"",
+		"b01011010 \"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// The unchanged bus value at #1 must appear exactly once.
+	if strings.Count(out, "b10100101 \"") != 1 {
+		t.Errorf("change compression failed:\n%s", out)
+	}
+}
+
+func TestTimeMonotonicity(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "1ns", "m")
+	w.DeclareVar("x", 1)
+	w.EndHeader()
+	w.SetTime(5)
+	w.SetTime(3)
+	if err := w.Close(); err == nil {
+		t.Fatal("backwards time accepted")
+	}
+}
+
+func TestDeclareAfterHeader(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "1ns", "m")
+	w.EndHeader()
+	if id := w.DeclareVar("late", 1); id != -1 {
+		t.Fatal("late declaration accepted")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("no error for late declaration")
+	}
+}
+
+func TestIdentifierCodes(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		c := code(i)
+		if seen[c] {
+			t.Fatalf("duplicate code %q at %d", c, i)
+		}
+		seen[c] = true
+		for _, r := range c {
+			if r < 33 || r > 126 {
+				t.Fatalf("code %q contains non-printable rune", c)
+			}
+		}
+	}
+}
+
+func TestPortTracer(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "1ns", "dut")
+	tr := NewPortTracer(w, map[string]int{"a": 4, "b": 1})
+	tr.Sample(0, map[string]uint64{"a": 3, "b": 1})
+	tr.Sample(1, map[string]uint64{"a": 3, "b": 0})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "$var wire 4") || !strings.Contains(out, "#1") {
+		t.Errorf("tracer output:\n%s", out)
+	}
+}
+
+func TestChangeBits(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "1ns", "m")
+	v := w.DeclareVar("v", 3)
+	w.EndHeader()
+	w.SetTime(0)
+	w.ChangeBits(v, []bool{true, false, true})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "b101 !") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,396 @@
+package verilog
+
+// This file defines the abstract syntax tree produced by the parser. The
+// tree is deliberately close to the concrete syntax; all semantic
+// resolution (widths, parameter values, hierarchy) happens during
+// elaboration in internal/synth.
+
+// SourceFile is the parse result of one Verilog file.
+type SourceFile struct {
+	Path    string
+	Modules []*Module
+}
+
+// Design is a set of parsed files resolved into a module library.
+type Design struct {
+	Modules map[string]*Module
+	Order   []string // declaration order, for deterministic output
+}
+
+// Module is a module declaration.
+type Module struct {
+	Name   string
+	Pos    Pos
+	Params []*ParamDecl // header parameters #(...) and body parameter decls
+	Ports  []*PortRef   // header port order
+	Items  []Item
+}
+
+// PortRef is an entry of the module header port list. For ANSI headers
+// the direction and range are attached; for non-ANSI headers only the
+// name is known and the body declarations supply the rest.
+type PortRef struct {
+	Name string
+	Pos  Pos
+	Decl *NetDecl // non-nil for ANSI-style declarations
+}
+
+// Item is a module body item.
+type Item interface{ itemNode() }
+
+// Direction of a port declaration.
+type Direction uint8
+
+// Port directions; DirNone marks plain wire/reg declarations.
+const (
+	DirNone Direction = iota
+	DirInput
+	DirOutput
+	DirInout
+)
+
+// String returns the Verilog spelling of the direction.
+func (d Direction) String() string {
+	switch d {
+	case DirInput:
+		return "input"
+	case DirOutput:
+		return "output"
+	case DirInout:
+		return "inout"
+	}
+	return "wire"
+}
+
+// NetDecl declares one or more nets/regs, optionally with a vector range
+// and port direction. Width expressions are resolved at elaboration.
+type NetDecl struct {
+	Pos    Pos
+	Dir    Direction
+	IsReg  bool
+	Signed bool
+	// MSB/LSB are nil for scalar declarations.
+	MSB, LSB Expr
+	Names    []DeclName
+}
+
+func (*NetDecl) itemNode() {}
+
+// DeclName is one declarator within a NetDecl, with an optional
+// initialiser (`wire x = expr;`) and an optional memory-array dimension
+// (`reg [7:0] mem [0:15];` — AMSB/ALSB non-nil marks an array).
+type DeclName struct {
+	Name       string
+	Pos        Pos
+	Init       Expr // may be nil
+	AMSB, ALSB Expr // array bounds; nil for plain nets
+}
+
+// ParamDecl declares a parameter or localparam.
+type ParamDecl struct {
+	Pos   Pos
+	Local bool
+	Name  string
+	Value Expr
+}
+
+func (*ParamDecl) itemNode() {}
+
+// ContAssign is a continuous assignment: assign LHS = RHS;
+type ContAssign struct {
+	Pos Pos
+	LHS Expr // Ident, Index, RangeSelect or Concat of those
+	RHS Expr
+}
+
+func (*ContAssign) itemNode() {}
+
+// EdgeKind describes a sensitivity-list entry.
+type EdgeKind uint8
+
+// Sensitivity edges. EdgeAny covers level-sensitive entries and @*.
+const (
+	EdgeAny EdgeKind = iota
+	EdgePos
+	EdgeNeg
+)
+
+// SensItem is one event in an always sensitivity list.
+type SensItem struct {
+	Edge   EdgeKind
+	Signal string // empty for @*
+}
+
+// AlwaysBlock is an always construct. Combinational blocks have
+// Star == true or only EdgeAny items; clocked blocks have edge items.
+type AlwaysBlock struct {
+	Pos  Pos
+	Star bool
+	Sens []SensItem
+	Body Stmt
+}
+
+func (*AlwaysBlock) itemNode() {}
+
+// InitialBlock is parsed and ignored by synthesis (testbench construct).
+type InitialBlock struct {
+	Pos  Pos
+	Body Stmt
+}
+
+func (*InitialBlock) itemNode() {}
+
+// Instance is a module instantiation.
+type Instance struct {
+	Pos        Pos
+	ModuleName string
+	Name       string
+	// ParamOverrides: by name (named true) or by position.
+	Params []Connection
+	Ports  []Connection
+}
+
+func (*Instance) itemNode() {}
+
+// Connection is one .name(expr) or positional expr binding.
+type Connection struct {
+	Pos   Pos
+	Name  string // empty for positional
+	Named bool
+	Expr  Expr // nil for unconnected .name()
+}
+
+// FunctionDecl is a Verilog function: a purely combinational,
+// single-output subroutine. The return value is assigned to the function
+// name inside the body.
+type FunctionDecl struct {
+	Pos      Pos
+	Name     string
+	MSB, LSB Expr // return range, nil for 1-bit
+	Inputs   []*NetDecl
+	Locals   []*NetDecl
+	Body     Stmt
+}
+
+func (*FunctionDecl) itemNode() {}
+
+// GenvarDecl declares generate loop variables.
+type GenvarDecl struct {
+	Pos   Pos
+	Names []string
+}
+
+func (*GenvarDecl) itemNode() {}
+
+// GenerateFor is a generate-for region replicating its body items.
+type GenerateFor struct {
+	Pos     Pos
+	Var     string
+	Init    Expr
+	Cond    Expr
+	StepVar string
+	Step    Expr
+	Label   string
+	Body    []Item
+}
+
+func (*GenerateFor) itemNode() {}
+
+// GenerateIf is a generate-if region selecting items at elaboration.
+type GenerateIf struct {
+	Pos  Pos
+	Cond Expr
+	Then []Item
+	Else []Item
+}
+
+func (*GenerateIf) itemNode() {}
+
+// --- Statements ---
+
+// Stmt is a procedural statement inside always/initial/function bodies.
+type Stmt interface{ stmtNode() }
+
+// Block is a begin/end statement sequence.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (*Block) stmtNode() {}
+
+// Assign is a procedural assignment. Blocking is true for '=', false
+// for '<='.
+type Assign struct {
+	Pos      Pos
+	Blocking bool
+	LHS      Expr
+	RHS      Expr
+}
+
+func (*Assign) stmtNode() {}
+
+// If is an if/else statement (Else may be nil).
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+func (*If) stmtNode() {}
+
+// CaseKind distinguishes case variants.
+type CaseKind uint8
+
+// Case statement kinds. Casez treats z/? bits in item labels as wild;
+// casex additionally treats x as wild (both reduce to the same
+// elaboration in two-valued synthesis).
+const (
+	CaseNormal CaseKind = iota
+	CaseZ
+	CaseX
+)
+
+// CaseItem is one arm of a case statement. Default arms have no labels.
+type CaseItem struct {
+	Pos     Pos
+	Labels  []Expr
+	Default bool
+	Body    Stmt
+}
+
+// Case is a case/casez/casex statement.
+type Case struct {
+	Pos   Pos
+	Kind  CaseKind
+	Expr  Expr
+	Items []CaseItem
+}
+
+func (*Case) stmtNode() {}
+
+// For is a procedural for loop; bounds must be elaboration-time
+// constants (the loop is fully unrolled during synthesis).
+type For struct {
+	Pos     Pos
+	Var     string
+	Init    Expr
+	Cond    Expr
+	StepVar string
+	Step    Expr
+	Body    Stmt
+}
+
+func (*For) stmtNode() {}
+
+// NullStmt is a lone semicolon.
+type NullStmt struct{ Pos Pos }
+
+func (*NullStmt) stmtNode() {}
+
+// --- Expressions ---
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Ident is a name reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+func (*Ident) exprNode() {}
+
+// NumberExpr is a literal.
+type NumberExpr struct {
+	Pos Pos
+	Num Number
+}
+
+func (*NumberExpr) exprNode() {}
+
+// Unary is a prefix operator application. Op is the token kind of the
+// operator (TokTilde, TokNot, TokMinus, TokPlus, TokAmp, TokPipe,
+// TokCaret, TokTildeAmp, TokTildePipe, TokTildeCaret).
+type Unary struct {
+	Pos Pos
+	Op  TokenKind
+	X   Expr
+}
+
+func (*Unary) exprNode() {}
+
+// Binary is an infix operator application; Op is the operator token kind.
+type Binary struct {
+	Pos  Pos
+	Op   TokenKind
+	X, Y Expr
+}
+
+func (*Binary) exprNode() {}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Pos        Pos
+	Cond, A, B Expr
+}
+
+func (*Ternary) exprNode() {}
+
+// Index is a single bit or array element select: x[i].
+type Index struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+}
+
+func (*Index) exprNode() {}
+
+// RangeSelect is a constant part select x[msb:lsb], or the indexed part
+// selects x[base +: width] / x[base -: width].
+type RangeSelect struct {
+	Pos  Pos
+	X    Expr
+	MSB  Expr // or base expression for +:/-:
+	LSB  Expr // or width expression for +:/-:
+	Mode RangeMode
+}
+
+// RangeMode distinguishes part-select forms.
+type RangeMode uint8
+
+// Part-select modes.
+const (
+	RangeConst RangeMode = iota // [msb:lsb]
+	RangeUp                     // [base +: width]
+	RangeDown                   // [base -: width]
+)
+
+func (*RangeSelect) exprNode() {}
+
+// Concat is {a, b, c} (MSB-first as written).
+type Concat struct {
+	Pos   Pos
+	Parts []Expr
+}
+
+func (*Concat) exprNode() {}
+
+// Repl is a replication {n{expr}}.
+type Repl struct {
+	Pos   Pos
+	Count Expr
+	X     Expr
+}
+
+func (*Repl) exprNode() {}
+
+// Call is a function call f(args).
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (*Call) exprNode() {}

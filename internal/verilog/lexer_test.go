@@ -1,0 +1,203 @@
+package verilog
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("t.v", "module m (a, b); assign x = a & ~b; endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokModule, TokIdent, TokLParen, TokIdent, TokComma, TokIdent,
+		TokRParen, TokSemi, TokAssign, TokIdent, TokAssignOp, TokIdent,
+		TokAmp, TokTilde, TokIdent, TokSemi, TokEndmodule, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("t.v", `
+// line comment
+/* block
+   comment */ wire w; `+"`timescale 1ns/1ps\n wire v;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokWire, TokIdent, TokSemi, TokWire, TokIdent, TokSemi, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokens: %v", got)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("t.v", "/* nope"); err == nil {
+		t.Fatal("accepted unterminated block comment")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src   string
+		width int
+		sized bool
+		val   uint64
+	}{
+		{"42", 32, false, 42},
+		{"8'hFF", 8, true, 255},
+		{"8'hff", 8, true, 255},
+		{"4'b1010", 4, true, 10},
+		{"6'o77", 6, true, 63},
+		{"16'd1000", 16, true, 1000},
+		{"32'habcd_ef01", 32, true, 0xabcdef01},
+		{"8'b1111_0000", 8, true, 0xf0},
+		{"3'b101", 3, true, 5},
+		{"1'b1", 1, true, 1},
+		{"'h1F", 32, false, 0x1f},
+		{"8'sd5", 8, true, 5},
+		// Truncation to declared size.
+		{"4'hFF", 4, true, 0xf},
+	}
+	for _, c := range cases {
+		toks, err := Lex("t.v", c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if toks[0].Kind != TokNumber {
+			t.Errorf("%s: kind %s", c.src, toks[0].Kind)
+			continue
+		}
+		n := toks[0].Num
+		if n.Width != c.width || n.Sized != c.sized || n.Uint64() != c.val {
+			t.Errorf("%s: got width=%d sized=%v val=%d, want %d/%v/%d",
+				c.src, n.Width, n.Sized, n.Uint64(), c.width, c.sized, c.val)
+		}
+	}
+}
+
+func TestLexWideNumber(t *testing.T) {
+	toks, err := Lex("t.v", "128'hDEADBEEF_00000000_CAFEBABE_12345678")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := toks[0].Num
+	if n.Width != 128 || len(n.Words) != 2 {
+		t.Fatalf("width=%d words=%d", n.Width, len(n.Words))
+	}
+	if n.Words[0] != 0xCAFEBABE12345678 || n.Words[1] != 0xDEADBEEF00000000 {
+		t.Fatalf("words = %x", n.Words)
+	}
+	if !n.Bit(127) || n.Bit(95) {
+		t.Error("Bit() indexing wrong")
+	}
+}
+
+func TestLexWildcardNumber(t *testing.T) {
+	toks, err := Lex("t.v", "4'b1?0z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := toks[0].Num
+	if n.Uint64() != 0b1000 {
+		t.Errorf("value = %b", n.Uint64())
+	}
+	if !n.WildBit(0) || n.WildBit(1) || !n.WildBit(2) || n.WildBit(3) {
+		t.Errorf("wild mask = %b", n.Wild[0])
+	}
+	if !n.HasWild() {
+		t.Error("HasWild = false")
+	}
+}
+
+func TestLexDecimalBig(t *testing.T) {
+	toks, err := Lex("t.v", "'d18446744073709551616") // 2^64
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := toks[0].Num
+	// Unsized literals clamp to 32 bits, so 2^64 truncates to 0.
+	if n.Uint64() != 0 {
+		t.Errorf("val = %d", n.Uint64())
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "== != === !== <= >= << >> >>> && || ~^ ^~ ~& ~| ** < >"
+	toks, err := Lex("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokEq, TokNeq, TokCaseEq, TokCaseNeq, TokNonblock, TokGe,
+		TokShl, TokShr, TokAShr, TokAndAnd, TokOrOr, TokTildeCaret,
+		TokTildeCaret, TokTildeAmp, TokTildePipe, TokPower, TokLt, TokGt, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("f.v", "wire\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("wire pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x pos = %v", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "f.v:2:3" {
+		t.Errorf("pos string = %s", toks[1].Pos)
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	if _, err := Lex("t.v", "wire \x01;"); err == nil {
+		t.Fatal("accepted control character")
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	toks, err := Lex("t.v", "16'hBEEF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatNumber(toks[0].Num); s != "16'hbeef" {
+		t.Errorf("FormatNumber = %q", s)
+	}
+}
+
+func TestNumberInt(t *testing.T) {
+	toks, err := Lex("t.v", "'d123456")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Num.Int() != 123456 {
+		t.Errorf("Int = %d", toks[0].Num.Int())
+	}
+}

@@ -1,0 +1,1322 @@
+package verilog
+
+import "fmt"
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses one Verilog source file.
+func Parse(path, src string) (*SourceFile, error) {
+	toks, err := Lex(path, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sf := &SourceFile{Path: path}
+	for p.peek().Kind != TokEOF {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		sf.Modules = append(sf.Modules, m)
+	}
+	return sf, nil
+}
+
+// BuildDesign parses the given sources (path -> contents) and collects
+// their modules into one design library. Duplicate module names are an
+// error.
+func BuildDesign(sources map[string]string, order []string) (*Design, error) {
+	d := &Design{Modules: make(map[string]*Module)}
+	if order == nil {
+		for path := range sources {
+			order = append(order, path)
+		}
+	}
+	for _, path := range order {
+		sf, err := Parse(path, sources[path])
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range sf.Modules {
+			if _, dup := d.Modules[m.Name]; dup {
+				return nil, fmt.Errorf("%s: duplicate module %q", m.Pos, m.Name)
+			}
+			d.Modules[m.Name] = m
+			d.Order = append(d.Order, m.Name)
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peekN(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind TokenKind) bool {
+	if p.peek().Kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind {
+		return t, p.errorf("expected %s, found %s", kind, describe(t))
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokNumber:
+		return "number " + FormatNumber(t.Num)
+	case TokEOF:
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Kind.String())
+}
+
+// --- Module level ---
+
+func (p *parser) parseModule() (*Module, error) {
+	start, err := p.expect(TokModule)
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: nameTok.Text, Pos: start.Pos}
+
+	if p.accept(TokHash) {
+		if err := p.parseHeaderParams(m); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokLParen) {
+		if err := p.parsePortList(m); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != TokEndmodule {
+		if p.peek().Kind == TokEOF {
+			return nil, p.errorf("unexpected end of file inside module %q", m.Name)
+		}
+		items, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, items...)
+	}
+	p.next() // endmodule
+	return m, nil
+}
+
+func (p *parser) parseHeaderParams(m *Module) error {
+	if _, err := p.expect(TokLParen); err != nil {
+		return err
+	}
+	for {
+		if !p.accept(TokParameter) {
+			// `#(parameter A=..., B=...)` allows omitting the keyword on
+			// continuation declarators.
+		}
+		// Optional range on the parameter: skip it.
+		if p.peek().Kind == TokLBracket {
+			if err := p.skipRange(); err != nil {
+				return err
+			}
+		}
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokAssignOp); err != nil {
+			return err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Params = append(m.Params, &ParamDecl{Pos: nameTok.Pos, Name: nameTok.Text, Value: val})
+		if p.accept(TokComma) {
+			continue
+		}
+		break
+	}
+	_, err := p.expect(TokRParen)
+	return err
+}
+
+func (p *parser) skipRange() error {
+	if _, err := p.expect(TokLBracket); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		switch p.next().Kind {
+		case TokLBracket:
+			depth++
+		case TokRBracket:
+			depth--
+		case TokEOF:
+			return p.errorf("unexpected end of file in range")
+		}
+	}
+	return nil
+}
+
+func (p *parser) parsePortList(m *Module) error {
+	if p.accept(TokRParen) {
+		return nil
+	}
+	// Track the most recent ANSI declaration so bare continuation names
+	// (`input [3:0] a, b`) inherit direction and range.
+	var current *NetDecl
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case TokInput, TokOutput, TokInout:
+			decl, name, err := p.parseANSIPortDecl()
+			if err != nil {
+				return err
+			}
+			current = decl
+			m.Ports = append(m.Ports, &PortRef{Name: name, Pos: t.Pos, Decl: decl})
+		case TokIdent:
+			nameTok := p.next()
+			if current != nil {
+				// Continuation of the previous ANSI declaration.
+				inherit := *current
+				inherit.Names = []DeclName{{Name: nameTok.Text, Pos: nameTok.Pos}}
+				cp := inherit
+				m.Ports = append(m.Ports, &PortRef{Name: nameTok.Text, Pos: nameTok.Pos, Decl: &cp})
+			} else {
+				// Non-ANSI header: just the name.
+				m.Ports = append(m.Ports, &PortRef{Name: nameTok.Text, Pos: nameTok.Pos})
+			}
+		default:
+			return p.errorf("expected port declaration, found %s", describe(t))
+		}
+		if p.accept(TokComma) {
+			continue
+		}
+		break
+	}
+	_, err := p.expect(TokRParen)
+	return err
+}
+
+func (p *parser) parseANSIPortDecl() (*NetDecl, string, error) {
+	decl := &NetDecl{Pos: p.peek().Pos}
+	switch p.next().Kind {
+	case TokInput:
+		decl.Dir = DirInput
+	case TokOutput:
+		decl.Dir = DirOutput
+	case TokInout:
+		decl.Dir = DirInout
+	}
+	if p.accept(TokWire) {
+	} else if p.accept(TokReg) {
+		decl.IsReg = true
+	}
+	if p.accept(TokSigned) {
+		decl.Signed = true
+	}
+	if p.peek().Kind == TokLBracket {
+		msb, lsb, err := p.parseVectorRange()
+		if err != nil {
+			return nil, "", err
+		}
+		decl.MSB, decl.LSB = msb, lsb
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, "", err
+	}
+	decl.Names = []DeclName{{Name: nameTok.Text, Pos: nameTok.Pos}}
+	return decl, nameTok.Text, nil
+}
+
+func (p *parser) parseVectorRange() (msb, lsb Expr, err error) {
+	if _, err = p.expect(TokLBracket); err != nil {
+		return
+	}
+	if msb, err = p.parseExpr(); err != nil {
+		return
+	}
+	if _, err = p.expect(TokColon); err != nil {
+		return
+	}
+	if lsb, err = p.parseExpr(); err != nil {
+		return
+	}
+	_, err = p.expect(TokRBracket)
+	return
+}
+
+// parseItem parses one module body item; it may expand to several AST
+// items (e.g. a declaration list).
+func (p *parser) parseItem() ([]Item, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInput, TokOutput, TokInout, TokWire, TokReg, TokInteger:
+		d, err := p.parseNetDecl()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{d}, nil
+	case TokParameter, TokLocalparam:
+		return p.parseParamDecls()
+	case TokAssign:
+		return p.parseContAssigns()
+	case TokAlways:
+		a, err := p.parseAlways()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{a}, nil
+	case TokInitial:
+		p.next()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{&InitialBlock{Pos: t.Pos, Body: body}}, nil
+	case TokFunction:
+		f, err := p.parseFunction()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{f}, nil
+	case TokGenvar:
+		p.next()
+		g := &GenvarDecl{Pos: t.Pos}
+		for {
+			nameTok, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			g.Names = append(g.Names, nameTok.Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return []Item{g}, nil
+	case TokGenerate:
+		p.next()
+		var items []Item
+		for p.peek().Kind != TokEndgenerate {
+			if p.peek().Kind == TokEOF {
+				return nil, p.errorf("unexpected end of file in generate block")
+			}
+			sub, err := p.parseGenerateItem()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, sub...)
+		}
+		p.next()
+		return items, nil
+	case TokFor, TokIf:
+		// Generate-for/if without the generate keyword (Verilog-2005
+		// allows this at module scope).
+		return p.parseGenerateItem()
+	case TokIdent:
+		inst, err := p.parseInstance()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{inst}, nil
+	}
+	return nil, p.errorf("unexpected %s at module scope", describe(t))
+}
+
+func (p *parser) parseGenerateItem() ([]Item, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokFor:
+		g, err := p.parseGenerateFor()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{g}, nil
+	case TokIf:
+		g, err := p.parseGenerateIf()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{g}, nil
+	default:
+		return p.parseItem()
+	}
+}
+
+func (p *parser) parseGenerateFor() (*GenerateFor, error) {
+	start, _ := p.expect(TokFor)
+	g := &GenerateFor{Pos: start.Pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	varTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g.Var = varTok.Text
+	if _, err := p.expect(TokAssignOp); err != nil {
+		return nil, err
+	}
+	if g.Init, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if g.Cond, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	stepTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g.StepVar = stepTok.Text
+	if _, err := p.expect(TokAssignOp); err != nil {
+		return nil, err
+	}
+	if g.Step, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	// Body: begin [: label] items end, or a single item.
+	if p.accept(TokBegin) {
+		if p.accept(TokColon) {
+			lbl, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			g.Label = lbl.Text
+		}
+		for p.peek().Kind != TokEnd {
+			if p.peek().Kind == TokEOF {
+				return nil, p.errorf("unexpected end of file in generate-for body")
+			}
+			items, err := p.parseGenerateItem()
+			if err != nil {
+				return nil, err
+			}
+			g.Body = append(g.Body, items...)
+		}
+		p.next()
+	} else {
+		items, err := p.parseGenerateItem()
+		if err != nil {
+			return nil, err
+		}
+		g.Body = items
+	}
+	return g, nil
+}
+
+func (p *parser) parseGenerateIf() (*GenerateIf, error) {
+	start, _ := p.expect(TokIf)
+	g := &GenerateIf{Pos: start.Pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var err error
+	if g.Cond, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	parseArm := func() ([]Item, error) {
+		if p.accept(TokBegin) {
+			if p.accept(TokColon) {
+				if _, err := p.expect(TokIdent); err != nil {
+					return nil, err
+				}
+			}
+			var items []Item
+			for p.peek().Kind != TokEnd {
+				if p.peek().Kind == TokEOF {
+					return nil, p.errorf("unexpected end of file in generate-if body")
+				}
+				sub, err := p.parseGenerateItem()
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, sub...)
+			}
+			p.next()
+			return items, nil
+		}
+		return p.parseGenerateItem()
+	}
+	if g.Then, err = parseArm(); err != nil {
+		return nil, err
+	}
+	if p.accept(TokElse) {
+		if g.Else, err = parseArm(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (p *parser) parseNetDecl() (*NetDecl, error) {
+	decl := &NetDecl{Pos: p.peek().Pos}
+	switch p.peek().Kind {
+	case TokInput:
+		decl.Dir = DirInput
+		p.next()
+	case TokOutput:
+		decl.Dir = DirOutput
+		p.next()
+	case TokInout:
+		decl.Dir = DirInout
+		p.next()
+	}
+	switch p.peek().Kind {
+	case TokWire:
+		p.next()
+	case TokReg:
+		decl.IsReg = true
+		p.next()
+	case TokInteger:
+		// `integer` is a 32-bit signed reg.
+		decl.IsReg = true
+		decl.Signed = true
+		p.next()
+		decl.MSB = &NumberExpr{Num: Number{Words: []uint64{31}, Width: 32}}
+		decl.LSB = &NumberExpr{Num: Number{Words: []uint64{0}, Width: 32}}
+	}
+	if p.accept(TokSigned) {
+		decl.Signed = true
+	}
+	if p.peek().Kind == TokLBracket && decl.MSB == nil {
+		msb, lsb, err := p.parseVectorRange()
+		if err != nil {
+			return nil, err
+		}
+		decl.MSB, decl.LSB = msb, lsb
+	}
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		dn := DeclName{Name: nameTok.Text, Pos: nameTok.Pos}
+		if p.peek().Kind == TokLBracket {
+			// Memory array dimension.
+			if dn.AMSB, dn.ALSB, err = p.parseVectorRange(); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(TokAssignOp) {
+			if dn.Init, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		decl.Names = append(decl.Names, dn)
+		if p.accept(TokComma) {
+			continue
+		}
+		break
+	}
+	_, err := p.expect(TokSemi)
+	return decl, err
+}
+
+func (p *parser) parseParamDecls() ([]Item, error) {
+	local := p.peek().Kind == TokLocalparam
+	p.next()
+	// Optional range: skip.
+	if p.peek().Kind == TokLBracket {
+		if err := p.skipRange(); err != nil {
+			return nil, err
+		}
+	}
+	var items []Item
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssignOp); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, &ParamDecl{Pos: nameTok.Pos, Local: local, Name: nameTok.Text, Value: val})
+		if p.accept(TokComma) {
+			continue
+		}
+		break
+	}
+	_, err := p.expect(TokSemi)
+	return items, err
+}
+
+func (p *parser) parseContAssigns() ([]Item, error) {
+	p.next() // assign
+	var items []Item
+	for {
+		lhs, err := p.parseLValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssignOp); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, &ContAssign{Pos: ExprPos(lhs), LHS: lhs, RHS: rhs})
+		if p.accept(TokComma) {
+			continue
+		}
+		break
+	}
+	_, err := p.expect(TokSemi)
+	return items, err
+}
+
+func (p *parser) parseAlways() (*AlwaysBlock, error) {
+	start, _ := p.expect(TokAlways)
+	a := &AlwaysBlock{Pos: start.Pos}
+	if _, err := p.expect(TokAt); err != nil {
+		return nil, err
+	}
+	if p.accept(TokStar) {
+		a.Star = true
+	} else {
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		if p.accept(TokStar) {
+			a.Star = true
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		} else {
+			for {
+				item := SensItem{}
+				switch p.peek().Kind {
+				case TokPosedge:
+					p.next()
+					item.Edge = EdgePos
+				case TokNegedge:
+					p.next()
+					item.Edge = EdgeNeg
+				}
+				sigTok, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				item.Signal = sigTok.Text
+				a.Sens = append(a.Sens, item)
+				if p.accept(TokOr) || p.accept(TokComma) {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	return a, nil
+}
+
+func (p *parser) parseFunction() (*FunctionDecl, error) {
+	start, _ := p.expect(TokFunction)
+	f := &FunctionDecl{Pos: start.Pos}
+	p.accept(TokSigned)
+	if p.peek().Kind == TokLBracket {
+		msb, lsb, err := p.parseVectorRange()
+		if err != nil {
+			return nil, err
+		}
+		f.MSB, f.LSB = msb, lsb
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f.Name = nameTok.Text
+	// ANSI-style argument list is permitted; classic style declares
+	// inputs in the body.
+	if p.accept(TokLParen) {
+		for p.peek().Kind != TokRParen {
+			d, err := p.parseFunctionArg()
+			if err != nil {
+				return nil, err
+			}
+			f.Inputs = append(f.Inputs, d)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	// Body declarations then a single statement.
+	for {
+		switch p.peek().Kind {
+		case TokInput:
+			d, err := p.parseNetDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Inputs = append(f.Inputs, d)
+			continue
+		case TokReg, TokInteger:
+			d, err := p.parseNetDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Locals = append(f.Locals, d)
+			continue
+		}
+		break
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	if _, err := p.expect(TokEndfunction); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) parseFunctionArg() (*NetDecl, error) {
+	decl := &NetDecl{Pos: p.peek().Pos, Dir: DirInput}
+	if !p.accept(TokInput) {
+		return nil, p.errorf("function arguments must be inputs")
+	}
+	p.accept(TokWire)
+	p.accept(TokReg)
+	if p.accept(TokSigned) {
+		decl.Signed = true
+	}
+	if p.peek().Kind == TokLBracket {
+		msb, lsb, err := p.parseVectorRange()
+		if err != nil {
+			return nil, err
+		}
+		decl.MSB, decl.LSB = msb, lsb
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	decl.Names = []DeclName{{Name: nameTok.Text, Pos: nameTok.Pos}}
+	return decl, nil
+}
+
+func (p *parser) parseInstance() (*Instance, error) {
+	modTok, _ := p.expect(TokIdent)
+	inst := &Instance{Pos: modTok.Pos, ModuleName: modTok.Text}
+	if p.accept(TokHash) {
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		conns, err := p.parseConnections()
+		if err != nil {
+			return nil, err
+		}
+		inst.Params = conns
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = nameTok.Text
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokRParen {
+		conns, err := p.parseConnections()
+		if err != nil {
+			return nil, err
+		}
+		inst.Ports = conns
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	_, err = p.expect(TokSemi)
+	return inst, err
+}
+
+func (p *parser) parseConnections() ([]Connection, error) {
+	var out []Connection
+	for {
+		c := Connection{Pos: p.peek().Pos}
+		if p.accept(TokDot) {
+			nameTok, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			c.Name = nameTok.Text
+			c.Named = true
+			if _, err := p.expect(TokLParen); err != nil {
+				return nil, err
+			}
+			if p.peek().Kind != TokRParen {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Expr = e
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Expr = e
+		}
+		out = append(out, c)
+		if p.accept(TokComma) {
+			continue
+		}
+		return out, nil
+	}
+}
+
+// --- Statements ---
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokBegin:
+		p.next()
+		if p.accept(TokColon) {
+			if _, err := p.expect(TokIdent); err != nil {
+				return nil, err
+			}
+		}
+		b := &Block{Pos: t.Pos}
+		for p.peek().Kind != TokEnd {
+			if p.peek().Kind == TokEOF {
+				return nil, p.errorf("unexpected end of file in begin/end block")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			b.Stmts = append(b.Stmts, s)
+		}
+		p.next()
+		return b, nil
+	case TokIf:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Pos: t.Pos, Cond: cond, Then: then}
+		if p.accept(TokElse) {
+			if st.Else, err = p.parseStmt(); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case TokCase, TokCasez, TokCasex:
+		return p.parseCase()
+	case TokFor:
+		return p.parseFor()
+	case TokSemi:
+		p.next()
+		return &NullStmt{Pos: t.Pos}, nil
+	default:
+		return p.parseAssignStmt()
+	}
+}
+
+func (p *parser) parseCase() (Stmt, error) {
+	t := p.next()
+	kind := CaseNormal
+	switch t.Kind {
+	case TokCasez:
+		kind = CaseZ
+	case TokCasex:
+		kind = CaseX
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	cs := &Case{Pos: t.Pos, Kind: kind, Expr: sel}
+	for p.peek().Kind != TokEndcase {
+		if p.peek().Kind == TokEOF {
+			return nil, p.errorf("unexpected end of file in case statement")
+		}
+		item := CaseItem{Pos: p.peek().Pos}
+		if p.accept(TokDefault) {
+			item.Default = true
+			p.accept(TokColon)
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item.Labels = append(item.Labels, e)
+				if p.accept(TokComma) {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		item.Body = body
+		cs.Items = append(cs.Items, item)
+	}
+	p.next()
+	return cs, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t, _ := p.expect(TokFor)
+	f := &For{Pos: t.Pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	varTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f.Var = varTok.Text
+	if _, err := p.expect(TokAssignOp); err != nil {
+		return nil, err
+	}
+	if f.Init, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if f.Cond, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	stepTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f.StepVar = stepTok.Text
+	if _, err := p.expect(TokAssignOp); err != nil {
+		return nil, err
+	}
+	if f.Step, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if f.Body, err = p.parseStmt(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseLValue parses an assignment target: an identifier with optional
+// bit/part selects, or a concatenation of lvalues. Using a restricted
+// grammar here keeps `q <= x` from being parsed as a less-equal
+// comparison.
+func (p *parser) parseLValue() (Expr, error) {
+	if p.peek().Kind == TokLBrace {
+		t := p.next()
+		cat := &Concat{Pos: t.Pos}
+		for {
+			e, err := p.parseLValue()
+			if err != nil {
+				return nil, err
+			}
+			cat.Parts = append(cat.Parts, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return cat, nil
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	var x Expr = &Ident{Pos: nameTok.Pos, Name: nameTok.Text}
+	return p.parseSelects(x)
+}
+
+// parseSelects parses any trailing [..] selects onto x.
+func (p *parser) parseSelects(x Expr) (Expr, error) {
+	for p.peek().Kind == TokLBracket {
+		lb := p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch p.peek().Kind {
+		case TokColon:
+			p.next()
+			second, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &RangeSelect{Pos: lb.Pos, X: x, MSB: first, LSB: second, Mode: RangeConst}
+		case TokPlus, TokMinus:
+			mode := RangeUp
+			if p.peek().Kind == TokMinus {
+				mode = RangeDown
+			}
+			p.next()
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			width, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &RangeSelect{Pos: lb.Pos, X: x, MSB: first, LSB: width, Mode: mode}
+		default:
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &Index{Pos: lb.Pos, X: x, I: first}
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAssignStmt() (Stmt, error) {
+	lhs, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	var blocking bool
+	switch p.peek().Kind {
+	case TokAssignOp:
+		blocking = true
+		p.next()
+	case TokNonblock:
+		blocking = false
+		p.next()
+	default:
+		return nil, p.errorf("expected assignment operator, found %s", describe(p.peek()))
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &Assign{Pos: ExprPos(lhs), Blocking: blocking, LHS: lhs, RHS: rhs}, nil
+}
+
+// --- Expressions (precedence-climbing) ---
+
+// Binding powers per Verilog-2005 operator precedence.
+func binaryPower(k TokenKind) int {
+	switch k {
+	case TokOrOr:
+		return 2
+	case TokAndAnd:
+		return 3
+	case TokPipe, TokTildePipe:
+		return 4
+	case TokCaret, TokTildeCaret:
+		return 5
+	case TokAmp, TokTildeAmp:
+		return 6
+	case TokEq, TokNeq, TokCaseEq, TokCaseNeq:
+		return 7
+	case TokLt, TokGt, TokGe, TokNonblock: // <= as comparison
+		return 8
+	case TokShl, TokShr, TokAShr:
+		return 9
+	case TokPlus, TokMinus:
+		return 10
+	case TokStar, TokSlash, TokPercent:
+		return 11
+	case TokPower:
+		return 12
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokQuestion) {
+		return cond, nil
+	}
+	a, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	b, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &Ternary{Pos: ExprPos(cond), Cond: cond, A: a, B: b}, nil
+}
+
+func (p *parser) parseBinary(minPower int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek().Kind
+		power := binaryPower(op)
+		if power == 0 || power < minPower {
+			return lhs, nil
+		}
+		// `+:` / `-:` belong to an indexed part select, not to this
+		// expression; stop so parsePostfix can consume them.
+		if (op == TokPlus || op == TokMinus) && p.peekN(1).Kind == TokColon {
+			return lhs, nil
+		}
+		p.next()
+		// ** is right-associative; everything else left.
+		nextMin := power + 1
+		if op == TokPower {
+			nextMin = power
+		}
+		rhs, err := p.parseBinary(nextMin)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: ExprPos(lhs), Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokTilde, TokNot, TokMinus, TokPlus, TokAmp, TokPipe, TokCaret,
+		TokTildeAmp, TokTildePipe, TokTildeCaret:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokPlus {
+			return x, nil // unary plus is a no-op
+		}
+		return &Unary{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseSelects(x)
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		if p.peek().Kind == TokLParen {
+			// Function call.
+			p.next()
+			call := &Call{Pos: t.Pos, Name: t.Text}
+			if p.peek().Kind != TokRParen {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	case TokNumber:
+		p.next()
+		return &NumberExpr{Pos: t.Pos, Num: t.Num}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokLBrace:
+		p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().Kind == TokLBrace {
+			// Replication {n{expr}}.
+			p.next()
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+			return &Repl{Pos: t.Pos, Count: first, X: inner}, nil
+		}
+		cat := &Concat{Pos: t.Pos, Parts: []Expr{first}}
+		for p.accept(TokComma) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cat.Parts = append(cat.Parts, e)
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return cat, nil
+	}
+	return nil, p.errorf("expected expression, found %s", describe(t))
+}
+
+// ExprPos returns the source position of an expression node.
+func ExprPos(e Expr) Pos {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Pos
+	case *NumberExpr:
+		return x.Pos
+	case *Unary:
+		return x.Pos
+	case *Binary:
+		return x.Pos
+	case *Ternary:
+		return x.Pos
+	case *Index:
+		return x.Pos
+	case *RangeSelect:
+		return x.Pos
+	case *Concat:
+		return x.Pos
+	case *Repl:
+		return x.Pos
+	case *Call:
+		return x.Pos
+	}
+	return Pos{}
+}

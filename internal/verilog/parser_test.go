@@ -1,0 +1,472 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) *Module {
+	t.Helper()
+	sf, err := Parse("test.v", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(sf.Modules) != 1 {
+		t.Fatalf("parsed %d modules, want 1", len(sf.Modules))
+	}
+	return sf.Modules[0]
+}
+
+func TestParseEmptyModule(t *testing.T) {
+	m := parseOne(t, "module empty; endmodule")
+	if m.Name != "empty" || len(m.Items) != 0 {
+		t.Errorf("module %q items=%d", m.Name, len(m.Items))
+	}
+}
+
+func TestParseANSIPorts(t *testing.T) {
+	m := parseOne(t, `
+module adder (
+    input  wire [7:0] a, b,
+    input  wire       cin,
+    output wire [7:0] sum,
+    output wire       cout
+);
+endmodule`)
+	if len(m.Ports) != 5 {
+		t.Fatalf("ports = %d, want 5", len(m.Ports))
+	}
+	names := []string{"a", "b", "cin", "sum", "cout"}
+	for i, want := range names {
+		if m.Ports[i].Name != want {
+			t.Errorf("port %d = %q, want %q", i, m.Ports[i].Name, want)
+		}
+		if m.Ports[i].Decl == nil {
+			t.Errorf("port %q missing ANSI decl", want)
+		}
+	}
+	// b must inherit direction and range from a.
+	b := m.Ports[1].Decl
+	if b.Dir != DirInput || b.MSB == nil {
+		t.Errorf("port b: dir=%v msb=%v", b.Dir, b.MSB)
+	}
+	if m.Ports[3].Decl.Dir != DirOutput {
+		t.Error("sum not an output")
+	}
+}
+
+func TestParseNonANSIPorts(t *testing.T) {
+	m := parseOne(t, `
+module old (a, b, y);
+  input a, b;
+  output y;
+  assign y = a & b;
+endmodule`)
+	if len(m.Ports) != 3 {
+		t.Fatalf("ports = %d", len(m.Ports))
+	}
+	if m.Ports[0].Decl != nil {
+		t.Error("non-ANSI port has decl")
+	}
+	nDecls := 0
+	for _, it := range m.Items {
+		if _, ok := it.(*NetDecl); ok {
+			nDecls++
+		}
+	}
+	if nDecls != 2 {
+		t.Errorf("body decls = %d, want 2", nDecls)
+	}
+}
+
+func TestParseHeaderParams(t *testing.T) {
+	m := parseOne(t, `
+module fifo #(parameter WIDTH = 8, DEPTH = 16, parameter [3:0] MODE = 4'd2) (
+  input wire [WIDTH-1:0] din
+);
+endmodule`)
+	if len(m.Params) != 3 {
+		t.Fatalf("params = %d, want 3", len(m.Params))
+	}
+	want := []string{"WIDTH", "DEPTH", "MODE"}
+	for i, w := range want {
+		if m.Params[i].Name != w {
+			t.Errorf("param %d = %q, want %q", i, m.Params[i].Name, w)
+		}
+	}
+}
+
+func TestParseLocalparamAndBodyParam(t *testing.T) {
+	m := parseOne(t, `
+module m;
+  parameter P = 4;
+  localparam Q = P * 2, R = Q + 1;
+endmodule`)
+	var locals, params int
+	for _, it := range m.Items {
+		if pd, ok := it.(*ParamDecl); ok {
+			if pd.Local {
+				locals++
+			} else {
+				params++
+			}
+		}
+	}
+	if params != 1 || locals != 2 {
+		t.Errorf("params=%d locals=%d", params, locals)
+	}
+}
+
+func TestParseContAssignList(t *testing.T) {
+	m := parseOne(t, `
+module m(input a, input b, output x, output y);
+  assign x = a ^ b, y = a | b;
+endmodule`)
+	var n int
+	for _, it := range m.Items {
+		if _, ok := it.(*ContAssign); ok {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("assigns = %d, want 2", n)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	m := parseOne(t, `
+module m(input [7:0] a, b, c, output [7:0] y);
+  assign y = a + b * c;
+endmodule`)
+	ca := findAssign(t, m)
+	bin, ok := ca.RHS.(*Binary)
+	if !ok || bin.Op != TokPlus {
+		t.Fatalf("top op = %T", ca.RHS)
+	}
+	inner, ok := bin.Y.(*Binary)
+	if !ok || inner.Op != TokStar {
+		t.Fatalf("rhs of + is %T, want *", bin.Y)
+	}
+}
+
+func TestParseTernaryRightAssoc(t *testing.T) {
+	m := parseOne(t, `
+module m(input s1, s2, input [3:0] a, b, c, output [3:0] y);
+  assign y = s1 ? a : s2 ? b : c;
+endmodule`)
+	ca := findAssign(t, m)
+	top, ok := ca.RHS.(*Ternary)
+	if !ok {
+		t.Fatalf("top = %T", ca.RHS)
+	}
+	if _, ok := top.B.(*Ternary); !ok {
+		t.Fatalf("else arm = %T, want nested ternary", top.B)
+	}
+}
+
+func TestParseConcatReplication(t *testing.T) {
+	m := parseOne(t, `
+module m(input [3:0] a, output [15:0] y);
+  assign y = {4'hF, {2{a}}, a[3:0]};
+endmodule`)
+	ca := findAssign(t, m)
+	cat, ok := ca.RHS.(*Concat)
+	if !ok || len(cat.Parts) != 3 {
+		t.Fatalf("rhs = %T with %d parts", ca.RHS, len(cat.Parts))
+	}
+	if _, ok := cat.Parts[1].(*Repl); !ok {
+		t.Errorf("part 1 = %T, want Repl", cat.Parts[1])
+	}
+	if _, ok := cat.Parts[2].(*RangeSelect); !ok {
+		t.Errorf("part 2 = %T, want RangeSelect", cat.Parts[2])
+	}
+}
+
+func TestParseIndexedPartSelect(t *testing.T) {
+	m := parseOne(t, `
+module m(input [31:0] a, input [4:0] i, output [7:0] y, z);
+  assign y = a[i +: 8];
+  assign z = a[i -: 8];
+endmodule`)
+	var sel []*RangeSelect
+	for _, it := range m.Items {
+		if ca, ok := it.(*ContAssign); ok {
+			sel = append(sel, ca.RHS.(*RangeSelect))
+		}
+	}
+	if len(sel) != 2 || sel[0].Mode != RangeUp || sel[1].Mode != RangeDown {
+		t.Fatalf("part selects parsed wrong: %+v", sel)
+	}
+}
+
+func TestParseAlwaysComb(t *testing.T) {
+	m := parseOne(t, `
+module m(input [1:0] s, input [3:0] a, b, c, d, output reg [3:0] y);
+  always @* begin
+    case (s)
+      2'd0: y = a;
+      2'd1: y = b;
+      2'd2: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule`)
+	a := findAlways(t, m)
+	if !a.Star {
+		t.Error("not a star block")
+	}
+	blk := a.Body.(*Block)
+	cs := blk.Stmts[0].(*Case)
+	if len(cs.Items) != 4 || !cs.Items[3].Default {
+		t.Fatalf("case items = %d", len(cs.Items))
+	}
+}
+
+func TestParseAlwaysClocked(t *testing.T) {
+	m := parseOne(t, `
+module m(input clk, rst, d, output reg q);
+  always @(posedge clk) begin
+    if (rst) q <= 1'b0;
+    else q <= d;
+  end
+endmodule`)
+	a := findAlways(t, m)
+	if a.Star || len(a.Sens) != 1 || a.Sens[0].Edge != EdgePos || a.Sens[0].Signal != "clk" {
+		t.Fatalf("sens = %+v", a.Sens)
+	}
+	iff := a.Body.(*Block).Stmts[0].(*If)
+	asn := iff.Then.(*Assign)
+	if asn.Blocking {
+		t.Error("nonblocking assignment parsed as blocking")
+	}
+}
+
+func TestParseSensitivityList(t *testing.T) {
+	m := parseOne(t, `
+module m(input clk, arst, d, output reg q);
+  always @(posedge clk or posedge arst)
+    if (arst) q <= 0; else q <= d;
+endmodule`)
+	a := findAlways(t, m)
+	if len(a.Sens) != 2 {
+		t.Fatalf("sens = %+v", a.Sens)
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	m := parseOne(t, `
+module m(input [7:0] a, output reg [7:0] y);
+  integer i;
+  always @* begin
+    for (i = 0; i < 8; i = i + 1)
+      y[i] = a[7 - i];
+  end
+endmodule`)
+	a := findAlways(t, m)
+	f := a.Body.(*Block).Stmts[0].(*For)
+	if f.Var != "i" || f.StepVar != "i" {
+		t.Fatalf("for parsed wrong: %+v", f)
+	}
+}
+
+func TestParseInstance(t *testing.T) {
+	m := parseOne(t, `
+module top(input [7:0] a, b, output [7:0] s);
+  wire c;
+  adder #(.WIDTH(8)) u0 (.a(a), .b(b), .sum(s), .cout(c), .cin(1'b0));
+endmodule`)
+	var inst *Instance
+	for _, it := range m.Items {
+		if x, ok := it.(*Instance); ok {
+			inst = x
+		}
+	}
+	if inst == nil {
+		t.Fatal("no instance parsed")
+	}
+	if inst.ModuleName != "adder" || inst.Name != "u0" {
+		t.Errorf("instance %s %s", inst.ModuleName, inst.Name)
+	}
+	if len(inst.Params) != 1 || !inst.Params[0].Named || inst.Params[0].Name != "WIDTH" {
+		t.Errorf("params = %+v", inst.Params)
+	}
+	if len(inst.Ports) != 5 {
+		t.Errorf("ports = %d", len(inst.Ports))
+	}
+}
+
+func TestParsePositionalInstance(t *testing.T) {
+	m := parseOne(t, `
+module top(input a, b, output y);
+  and2 g0 (y, a, b);
+endmodule`)
+	var inst *Instance
+	for _, it := range m.Items {
+		if x, ok := it.(*Instance); ok {
+			inst = x
+		}
+	}
+	if inst == nil || len(inst.Ports) != 3 || inst.Ports[0].Named {
+		t.Fatalf("instance = %+v", inst)
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	m := parseOne(t, `
+module m(input [7:0] x, output [7:0] y);
+  function [7:0] double;
+    input [7:0] v;
+    begin
+      double = v << 1;
+    end
+  endfunction
+  assign y = double(x);
+endmodule`)
+	var fn *FunctionDecl
+	for _, it := range m.Items {
+		if f, ok := it.(*FunctionDecl); ok {
+			fn = f
+		}
+	}
+	if fn == nil || fn.Name != "double" || len(fn.Inputs) != 1 {
+		t.Fatalf("function = %+v", fn)
+	}
+	ca := findAssign(t, m)
+	if _, ok := ca.RHS.(*Call); !ok {
+		t.Fatalf("rhs = %T, want Call", ca.RHS)
+	}
+}
+
+func TestParseGenerateFor(t *testing.T) {
+	m := parseOne(t, `
+module m(input [7:0] a, b, output [7:0] y);
+  genvar i;
+  generate
+    for (i = 0; i < 8; i = i + 1) begin : bit
+      assign y[i] = a[i] ^ b[i];
+    end
+  endgenerate
+endmodule`)
+	var gen *GenerateFor
+	for _, it := range m.Items {
+		if g, ok := it.(*GenerateFor); ok {
+			gen = g
+		}
+	}
+	if gen == nil || gen.Var != "i" || gen.Label != "bit" || len(gen.Body) != 1 {
+		t.Fatalf("generate = %+v", gen)
+	}
+}
+
+func TestParseCasez(t *testing.T) {
+	m := parseOne(t, `
+module pri(input [3:0] r, output reg [1:0] g);
+  always @* begin
+    casez (r)
+      4'b???1: g = 2'd0;
+      4'b??10: g = 2'd1;
+      4'b?100: g = 2'd2;
+      default: g = 2'd3;
+    endcase
+  end
+endmodule`)
+	a := findAlways(t, m)
+	cs := a.Body.(*Block).Stmts[0].(*Case)
+	if cs.Kind != CaseZ {
+		t.Fatalf("kind = %v", cs.Kind)
+	}
+	lbl := cs.Items[0].Labels[0].(*NumberExpr)
+	if !lbl.Num.HasWild() || lbl.Num.Uint64() != 1 {
+		t.Fatalf("label = %+v", lbl.Num)
+	}
+}
+
+func TestParseInitialIgnorable(t *testing.T) {
+	m := parseOne(t, `
+module m(output reg q);
+  initial q = 0;
+endmodule`)
+	if len(m.Items) != 1 {
+		t.Fatalf("items = %d", len(m.Items))
+	}
+	if _, ok := m.Items[0].(*InitialBlock); !ok {
+		t.Fatalf("item = %T", m.Items[0])
+	}
+}
+
+func TestParseMultipleModules(t *testing.T) {
+	sf, err := Parse("two.v", `
+module a; endmodule
+module b; endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Modules) != 2 {
+		t.Fatalf("modules = %d", len(sf.Modules))
+	}
+}
+
+func TestBuildDesignDuplicate(t *testing.T) {
+	_, err := BuildDesign(map[string]string{
+		"a.v": "module m; endmodule",
+		"b.v": "module m; endmodule",
+	}, []string{"a.v", "b.v"})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"module",                          // truncated
+		"module m(; endmodule",            // bad port list
+		"module m; assign = 1; endmodule", // missing LHS
+		"module m; wire; endmodule",       // missing name
+		"module m; always @; endmodule",   // missing sens list
+		"module m; case endmodule",        // case at module level
+		"module m; assign x 1; endmodule", // missing '='
+		"module m; wire w = ; endmodule",  // missing init expr
+		"module m; foo #() (); endmodule", // instance missing name
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.v", src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("pos.v", "module m;\n  wire ;\nendmodule")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2 (%v)", se.Pos.Line, err)
+	}
+}
+
+func findAssign(t *testing.T, m *Module) *ContAssign {
+	t.Helper()
+	for _, it := range m.Items {
+		if ca, ok := it.(*ContAssign); ok {
+			return ca
+		}
+	}
+	t.Fatal("no continuous assign found")
+	return nil
+}
+
+func findAlways(t *testing.T, m *Module) *AlwaysBlock {
+	t.Helper()
+	for _, it := range m.Items {
+		if a, ok := it.(*AlwaysBlock); ok {
+			return a
+		}
+	}
+	t.Fatal("no always block found")
+	return nil
+}

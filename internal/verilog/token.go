@@ -1,0 +1,241 @@
+package verilog
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories of the supported
+// Verilog-2005 subset.
+type TokenKind uint8
+
+// Token kinds. Operator tokens are named after their spelling.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber // sized or unsized literal, see Number
+	TokString
+
+	// Keywords.
+	TokModule
+	TokEndmodule
+	TokInput
+	TokOutput
+	TokInout
+	TokWire
+	TokReg
+	TokInteger
+	TokGenvar
+	TokParameter
+	TokLocalparam
+	TokAssign
+	TokAlways
+	TokInitial
+	TokPosedge
+	TokNegedge
+	TokOr // event "or" keyword
+	TokIf
+	TokElse
+	TokBegin
+	TokEnd
+	TokCase
+	TokCasez
+	TokCasex
+	TokEndcase
+	TokDefault
+	TokFor
+	TokFunction
+	TokEndfunction
+	TokGenerate
+	TokEndgenerate
+	TokSigned
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokLBrace
+	TokRBrace
+	TokSemi
+	TokComma
+	TokColon
+	TokDot
+	TokHash
+	TokAt
+	TokQuestion
+
+	// Operators.
+	TokAssignOp   // =
+	TokNonblock   // <=  (also less-equal; parser disambiguates)
+	TokPlus       // +
+	TokMinus      // -
+	TokStar       // *
+	TokSlash      // /
+	TokPercent    // %
+	TokNot        // !
+	TokTilde      // ~
+	TokAmp        // &
+	TokPipe       // |
+	TokCaret      // ^
+	TokTildeCaret // ~^ or ^~
+	TokTildeAmp   // ~&
+	TokTildePipe  // ~|
+	TokAndAnd     // &&
+	TokOrOr       // ||
+	TokEq         // ==
+	TokNeq        // !=
+	TokCaseEq     // ===
+	TokCaseNeq    // !==
+	TokLt         // <
+	TokGt         // >
+	TokGe         // >=
+	TokShl        // <<
+	TokShr        // >>
+	TokAShr       // >>>
+	TokPower      // **
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number", TokString: "string",
+	TokModule: "module", TokEndmodule: "endmodule", TokInput: "input",
+	TokOutput: "output", TokInout: "inout", TokWire: "wire", TokReg: "reg",
+	TokInteger: "integer", TokGenvar: "genvar", TokParameter: "parameter",
+	TokLocalparam: "localparam", TokAssign: "assign", TokAlways: "always",
+	TokInitial: "initial", TokPosedge: "posedge", TokNegedge: "negedge",
+	TokOr: "or", TokIf: "if", TokElse: "else", TokBegin: "begin", TokEnd: "end",
+	TokCase: "case", TokCasez: "casez", TokCasex: "casex", TokEndcase: "endcase",
+	TokDefault: "default", TokFor: "for", TokFunction: "function",
+	TokEndfunction: "endfunction", TokGenerate: "generate",
+	TokEndgenerate: "endgenerate", TokSigned: "signed",
+	TokLParen: "(", TokRParen: ")", TokLBracket: "[", TokRBracket: "]",
+	TokLBrace: "{", TokRBrace: "}", TokSemi: ";", TokComma: ",",
+	TokColon: ":", TokDot: ".", TokHash: "#", TokAt: "@", TokQuestion: "?",
+	TokAssignOp: "=", TokNonblock: "<=", TokPlus: "+", TokMinus: "-",
+	TokStar: "*", TokSlash: "/", TokPercent: "%", TokNot: "!", TokTilde: "~",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokTildeCaret: "~^",
+	TokTildeAmp: "~&", TokTildePipe: "~|", TokAndAnd: "&&", TokOrOr: "||",
+	TokEq: "==", TokNeq: "!=", TokCaseEq: "===", TokCaseNeq: "!==",
+	TokLt: "<", TokGt: ">", TokGe: ">=", TokShl: "<<", TokShr: ">>",
+	TokAShr: ">>>", TokPower: "**",
+}
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", uint8(k))
+}
+
+var keywords = map[string]TokenKind{
+	"module": TokModule, "endmodule": TokEndmodule, "input": TokInput,
+	"output": TokOutput, "inout": TokInout, "wire": TokWire, "reg": TokReg,
+	"integer": TokInteger, "genvar": TokGenvar, "parameter": TokParameter,
+	"localparam": TokLocalparam, "assign": TokAssign, "always": TokAlways,
+	"initial": TokInitial, "posedge": TokPosedge, "negedge": TokNegedge,
+	"or": TokOr, "if": TokIf, "else": TokElse, "begin": TokBegin,
+	"end": TokEnd, "case": TokCase, "casez": TokCasez, "casex": TokCasex,
+	"endcase": TokEndcase, "default": TokDefault, "for": TokFor,
+	"function": TokFunction, "endfunction": TokEndfunction,
+	"generate": TokGenerate, "endgenerate": TokEndgenerate,
+	"signed": TokSigned,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position in file:line:col form.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Number is the decoded value of a Verilog literal. Values wider than 64
+// bits are stored across little-endian words. An unsized literal (plain
+// "42") has Sized == false and Width 32, per the language rules.
+//
+// Wild marks bit positions written as x, z or ? in the source. In
+// ordinary (two-valued) contexts wild bits read as 0; in casez/casex
+// item labels they are don't-cares.
+type Number struct {
+	Words []uint64
+	Wild  []uint64
+	Width int
+	Sized bool
+}
+
+// WildBit reports whether bit i was written as a wildcard digit.
+func (n Number) WildBit(i int) bool {
+	if i < 0 || i >= n.Width {
+		return false
+	}
+	w := i / 64
+	if w >= len(n.Wild) {
+		return false
+	}
+	return n.Wild[w]>>(uint(i)%64)&1 == 1
+}
+
+// HasWild reports whether any bit of the literal is a wildcard.
+func (n Number) HasWild() bool {
+	for _, w := range n.Wild {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Bit returns bit i of the number (false beyond Width).
+func (n Number) Bit(i int) bool {
+	if i < 0 || i >= n.Width {
+		return false
+	}
+	w := i / 64
+	if w >= len(n.Words) {
+		return false
+	}
+	return n.Words[w]>>(uint(i)%64)&1 == 1
+}
+
+// Uint64 returns the low 64 bits of the value.
+func (n Number) Uint64() uint64 {
+	if len(n.Words) == 0 {
+		return 0
+	}
+	v := n.Words[0]
+	if n.Width < 64 {
+		v &= (1 << uint(n.Width)) - 1
+	}
+	return v
+}
+
+// Int returns the value as an int; it panics if the value exceeds the
+// positive int range (callers use it only for widths and indices).
+func (n Number) Int() int {
+	for i, w := range n.Words {
+		if i == 0 {
+			continue
+		}
+		if w != 0 {
+			panic("verilog: literal too large for int context")
+		}
+	}
+	v := n.Uint64()
+	if v > uint64(int(^uint(0)>>1)) {
+		panic("verilog: literal too large for int context")
+	}
+	return int(v)
+}
+
+// Token is a single lexical token with its position and payload.
+type Token struct {
+	Kind TokenKind
+	Pos  Pos
+	Text string // identifier or string body
+	Num  Number // valid when Kind == TokNumber
+}
