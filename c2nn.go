@@ -28,8 +28,12 @@
 package c2nn
 
 import (
+	"fmt"
+
 	"c2nn/internal/circuits"
 	"c2nn/internal/gatesim"
+	"c2nn/internal/irlint"
+	"c2nn/internal/irlint/diag"
 	"c2nn/internal/lutmap"
 	"c2nn/internal/netlist"
 	"c2nn/internal/nn"
@@ -50,6 +54,13 @@ type (
 	Netlist = netlist.Netlist
 	// Circuit is a built-in benchmark design.
 	Circuit = circuits.Circuit
+	// LintReport is the collect-all diagnostics report of the irlint
+	// cross-stage IR verifier.
+	LintReport = diag.Report
+	// Diagnostic is one irlint rule violation.
+	Diagnostic = diag.Diagnostic
+	// LintRule describes one registered irlint rule.
+	LintRule = diag.Rule
 )
 
 // Options configures CompileVerilog.
@@ -69,6 +80,19 @@ type Options struct {
 	// "polynomial libraries for known functions" improvement. Wide ANDs
 	// and ORs keep trivially sparse polynomials at any width.
 	CoalesceWide int
+	// Check runs the irlint cross-stage verifier at every stage
+	// boundary during compilation and fails on the first stage that
+	// reports an Error-severity diagnostic.
+	Check bool
+}
+
+func (o Options) lintOptions() irlint.Options {
+	return irlint.Options{
+		L:            o.L,
+		FlowMap:      o.FlowMap,
+		CoalesceWide: o.CoalesceWide,
+		NoMerge:      o.NoMerge,
+	}
 }
 
 func (o *Options) fill() {
@@ -104,6 +128,16 @@ func CompileBenchmark(name string, opts Options) (*Model, error) {
 }
 
 func compileNetlist(nl *netlist.Netlist, opts Options) (*Model, error) {
+	if opts.Check {
+		model, report, err := irlint.Check(nl, opts.lintOptions())
+		if err != nil {
+			return nil, err
+		}
+		if report.HasErrors() {
+			return nil, fmt.Errorf("lint: %s (%d errors)", report.FirstError(), report.Counts().Errors)
+		}
+		return model, nil
+	}
 	alg := lutmap.PriorityCuts
 	if opts.FlowMap {
 		alg = lutmap.FlowMap
@@ -160,3 +194,36 @@ func Verify(name string, l, cycles, batch int, seed int64) (int64, error) {
 
 // Benchmarks returns the built-in benchmark circuits.
 func Benchmarks() []Circuit { return circuits.All() }
+
+// LintVerilog runs the cross-stage IR verifier over a source-level
+// compile: the Verilog AST is linted first, then the design is
+// elaborated and every later IR (netlist, AIG, LUT graph, polynomials,
+// network) is linted at its stage boundary. Compilation stops at the
+// first stage with Error-severity diagnostics; the report always holds
+// everything found up to that point. A non-nil error means a stage
+// failed outright (parse or elaboration failure), distinct from the
+// report carrying diagnostics.
+func LintVerilog(sources map[string]string, order []string, opts Options) (*LintReport, error) {
+	opts.fill()
+	_, report, err := irlint.CheckSources(sources, order, opts.Top, opts.lintOptions())
+	return report, err
+}
+
+// LintBenchmark runs the cross-stage IR verifier over one of the
+// built-in Table I circuits, starting from its generated Verilog
+// sources so the AST stage is covered too.
+func LintBenchmark(name string, opts Options) (*LintReport, error) {
+	opts.fill()
+	c, err := circuits.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Top == "" {
+		opts.Top = c.Top
+	}
+	return LintVerilog(c.Generate(), nil, opts)
+}
+
+// LintRules returns every registered lint rule, sorted by ID — the
+// rule catalogue documented in docs/LINT.md.
+func LintRules() []LintRule { return diag.Rules() }

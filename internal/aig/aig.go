@@ -136,6 +136,16 @@ func (g *AIG) And(a, b Lit) Lit {
 	return MakeLit(idx, false)
 }
 
+// AddRawAnd appends an AND node without structural hashing, constant
+// folding or fanin ordering. It exists so tests and file readers can
+// build intentionally non-canonical graphs; Lint flags everything And
+// would have folded or merged.
+func (g *AIG) AddRawAnd(a, b Lit) Lit {
+	idx := int32(len(g.nodes))
+	g.nodes = append(g.nodes, node{a: a, b: b})
+	return MakeLit(idx, false)
+}
+
 // Or returns a literal computing a OR b.
 func (g *AIG) Or(a, b Lit) Lit { return g.And(a.Flip(), b.Flip()).Flip() }
 

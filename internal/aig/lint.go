@@ -1,0 +1,128 @@
+package aig
+
+import (
+	"strconv"
+
+	"c2nn/internal/irlint/diag"
+)
+
+// AIG-stage lint rules (AG···).
+var (
+	// RuleAIGFanin fires when an AND node's fanin literal references a
+	// node at or beyond its own index (the node array must be
+	// topologically ordered) or outside the graph.
+	RuleAIGFanin = diag.Register(diag.Rule{
+		ID: "AG001", Stage: diag.StageAIG, Severity: diag.Error,
+		Summary: "AND fanin out of range or not topologically ordered"})
+	// RuleAIGOutput fires when an output literal references a node
+	// outside the graph.
+	RuleAIGOutput = diag.Register(diag.Rule{
+		ID: "AG002", Stage: diag.StageAIG, Severity: diag.Error,
+		Summary: "output literal out of range"})
+	// RuleAIGDuplicate fires when two AND nodes share the same ordered
+	// fanin pair — structural hashing should have merged them.
+	RuleAIGDuplicate = diag.Register(diag.Rule{
+		ID: "AG003", Stage: diag.StageAIG, Severity: diag.Warning,
+		Summary: "structurally duplicate AND node (hashing missed a merge)"})
+	// RuleAIGFoldable fires on AND nodes the constructor folds away:
+	// constant fanin, equal fanins, or complementary fanins.
+	RuleAIGFoldable = diag.Register(diag.Rule{
+		ID: "AG004", Stage: diag.StageAIG, Severity: diag.Warning,
+		Summary: "AND node with constant or trivial fanin"})
+	// RuleAIGDangling fires on AND nodes outside every output cone.
+	RuleAIGDangling = diag.Register(diag.Rule{
+		ID: "AG005", Stage: diag.StageAIG, Severity: diag.Warning,
+		Summary: "AND node reaches no output (dangling logic)"})
+)
+
+// Lint checks the structural invariants of the graph against the given
+// output literals, collecting every violation. The level and fanout
+// consistency of the graph follow from topological fanin order, which
+// is checked per node.
+func (g *AIG) Lint(outputs []Lit) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	total := int32(len(g.nodes))
+	first := int32(g.numPIs) + 1
+	loc := func(n int32) string { return "and " + strconv.Itoa(int(n)) }
+
+	nodeOK := make([]bool, total)
+	seen := make(map[[2]Lit]int32, g.NumAnds())
+	for n := first; n < total; n++ {
+		a, b := g.nodes[n].a, g.nodes[n].b
+		ok := true
+		for _, f := range [2]Lit{a, b} {
+			if f.Node() < 0 || f.Node() >= total {
+				ds = append(ds, RuleAIGFanin.New(loc(n),
+					"fanin literal %d references node %d outside graph of %d nodes",
+					f, f.Node(), total))
+				ok = false
+			} else if f.Node() >= n {
+				ds = append(ds, RuleAIGFanin.New(loc(n),
+					"fanin literal %d references node %d ≥ own index (not topological)",
+					f, f.Node()))
+				ok = false
+			}
+		}
+		nodeOK[n] = ok
+		if !ok {
+			continue
+		}
+		switch {
+		case a == LitFalse || b == LitFalse || a == LitTrue || b == LitTrue:
+			ds = append(ds, RuleAIGFoldable.New(loc(n),
+				"AND(%d, %d) has a constant fanin", a, b))
+		case a == b:
+			ds = append(ds, RuleAIGFoldable.New(loc(n),
+				"AND(%d, %d) has equal fanins", a, b))
+		case a == b.Flip():
+			ds = append(ds, RuleAIGFoldable.New(loc(n),
+				"AND(%d, %d) has complementary fanins (constant false)", a, b))
+		}
+		key := [2]Lit{a, b}
+		if a > b {
+			key = [2]Lit{b, a}
+		}
+		if prev, dup := seen[key]; dup {
+			ds = append(ds, RuleAIGDuplicate.New(loc(n),
+				"duplicates AND node %d with fanins (%d, %d)", prev, a, b))
+		} else {
+			seen[key] = n
+		}
+	}
+
+	// Output range, then backwards reachability for dangling nodes.
+	live := make([]bool, total)
+	var stack []int32
+	for oi, o := range outputs {
+		if o.Node() < 0 || o.Node() >= total {
+			ds = append(ds, RuleAIGOutput.New("output "+strconv.Itoa(oi),
+				"literal %d references node %d outside graph of %d nodes",
+				o, o.Node(), total))
+			continue
+		}
+		if !live[o.Node()] {
+			live[o.Node()] = true
+			stack = append(stack, o.Node())
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n < first || !nodeOK[n] {
+			continue
+		}
+		for _, f := range [2]Lit{g.nodes[n].a, g.nodes[n].b} {
+			if fn := f.Node(); !live[fn] {
+				live[fn] = true
+				stack = append(stack, fn)
+			}
+		}
+	}
+	for n := first; n < total; n++ {
+		if nodeOK[n] && !live[n] {
+			ds = append(ds, RuleAIGDangling.New(loc(n),
+				"AND node is outside every output cone"))
+		}
+	}
+	return ds
+}

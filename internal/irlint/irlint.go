@@ -1,0 +1,199 @@
+// Package irlint is the cross-stage IR verifier: a static-analysis
+// pass over every intermediate representation of the compilation
+// pipeline — Verilog AST, bit-blasted netlist, and-inverter graph, LUT
+// computation graph, multi-linear polynomials and the final threshold
+// network — with collect-all-violations semantics.
+//
+// The rule implementations live next to the IRs they inspect (each IR
+// package has a lint.go declaring its rules against the registry in
+// internal/irlint/diag); this package stitches them into per-stage
+// reports and a whole-pipeline Check that compiles a netlist to a
+// model, verifying every stage boundary on the way — the static
+// counterpart of the dynamic simengine.Verify equivalence check
+// (paper §IV-A).
+package irlint
+
+import (
+	"fmt"
+
+	"c2nn/internal/aig"
+	"c2nn/internal/irlint/diag"
+	"c2nn/internal/lutmap"
+	"c2nn/internal/netlist"
+	"c2nn/internal/nn"
+	"c2nn/internal/poly"
+	"c2nn/internal/synth"
+	"c2nn/internal/verilog"
+)
+
+// PolyCheckMaxVars bounds the exhaustive polynomial re-evaluation: for
+// every LUT with at most this many inputs, the verifier recomputes the
+// multi-linear polynomial and evaluates it on all 2^k assignments
+// against the truth table. 8 keeps the check at ≤ 256 evaluations per
+// LUT while covering every LUT the default L = 7 mapping produces.
+const PolyCheckMaxVars = 8
+
+// Design lints the parsed Verilog AST.
+func Design(d *verilog.Design) *diag.Report {
+	r := &diag.Report{}
+	r.Add(d.Lint()...)
+	return r
+}
+
+// Netlist lints the gate-level IR.
+func Netlist(nl *netlist.Netlist) *diag.Report {
+	r := &diag.Report{}
+	r.Add(nl.Lint()...)
+	return r
+}
+
+// AIG lints an and-inverter graph against its output literals.
+func AIG(g *aig.AIG, outputs []aig.Lit) *diag.Report {
+	r := &diag.Report{}
+	r.Add(g.Lint(outputs)...)
+	return r
+}
+
+// Graph lints the LUT computation graph.
+func Graph(g *lutmap.Graph) *diag.Report {
+	r := &diag.Report{}
+	r.Add(g.Lint()...)
+	return r
+}
+
+// Polys re-derives the multi-linear polynomial of every LUT with at
+// most PolyCheckMaxVars inputs, lints its structure and re-evaluates it
+// exhaustively against the truth table (rule PL004) — a per-node static
+// proof of the polynomial conversion.
+func Polys(g *lutmap.Graph) *diag.Report {
+	r := &diag.Report{}
+	for i := range g.LUTs {
+		t := g.LUTs[i].Table
+		if t.NumVars > PolyCheckMaxVars {
+			continue
+		}
+		loc := fmt.Sprintf("lut %d", i)
+		p := poly.FromTable(t)
+		r.Add(p.Lint(loc)...)
+		r.Add(poly.LintAgainstTable(p, t, loc)...)
+	}
+	return r
+}
+
+// Model lints the compiled neural-network model.
+func Model(m *nn.Model) *diag.Report {
+	r := &diag.Report{}
+	r.Add(m.Lint()...)
+	return r
+}
+
+// Options configures the pipeline check. The zero value means L = 7,
+// priority-cuts mapping, layer merging on.
+type Options struct {
+	// L is the LUT size hyperparameter.
+	L int
+	// FlowMap selects the depth-optimal mapper.
+	FlowMap bool
+	// CoalesceWide, when > 0, runs wide AND/OR coalescing after
+	// mapping, as in the main compile path.
+	CoalesceWide int
+	// NoMerge disables the depth-halving layer merge.
+	NoMerge bool
+}
+
+func (o *Options) fill() {
+	if o.L == 0 {
+		o.L = 7
+	}
+}
+
+// Check compiles the netlist stage by stage, linting at every stage
+// boundary, and returns the compiled model together with the combined
+// report. When a stage reports Error-severity diagnostics, compilation
+// stops at that boundary and the model is nil. A non-nil error means a
+// stage failed outright (distinct from reporting diagnostics).
+func Check(nl *netlist.Netlist, opts Options) (*nn.Model, *diag.Report, error) {
+	opts.fill()
+	report := Netlist(nl)
+	if report.HasErrors() {
+		report.Sort()
+		return nil, report, nil
+	}
+
+	g, lits, err := aig.FromNetlist(nl)
+	if err != nil {
+		return nil, report, fmt.Errorf("irlint: lowering to AIG: %w", err)
+	}
+	outs := make([]aig.Lit, 0, len(nl.CombOutputs()))
+	for _, net := range nl.CombOutputs() {
+		outs = append(outs, lits[net])
+	}
+	report.Add(AIG(g, outs).Diags...)
+	if report.HasErrors() {
+		report.Sort()
+		return nil, report, nil
+	}
+
+	alg := lutmap.PriorityCuts
+	if opts.FlowMap {
+		alg = lutmap.FlowMap
+	}
+	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: opts.L, Algorithm: alg})
+	if err != nil {
+		return nil, report, fmt.Errorf("irlint: mapping: %w", err)
+	}
+	if opts.CoalesceWide > 0 {
+		cg, err := lutmap.Coalesce(m.Graph, opts.CoalesceWide)
+		if err != nil {
+			return nil, report, fmt.Errorf("irlint: coalescing: %w", err)
+		}
+		m.Graph = cg
+	}
+	report.Add(Graph(m.Graph).Diags...)
+	report.Add(Polys(m.Graph).Diags...)
+	if report.HasErrors() {
+		report.Sort()
+		return nil, report, nil
+	}
+
+	model, err := nn.Build(nl, m, nn.BuildOptions{Merge: !opts.NoMerge, L: opts.L})
+	if err != nil {
+		return nil, report, fmt.Errorf("irlint: building network: %w", err)
+	}
+	report.Add(Model(model).Diags...)
+	report.Sort()
+	if report.HasErrors() {
+		return nil, report, nil
+	}
+	return model, report, nil
+}
+
+// CheckSources parses and lints the Verilog AST, elaborates the design
+// and runs the pipeline Check — the full static verification of a
+// source-level compile. order fixes the parse order (nil for map
+// order); top selects the top module ("" infers it).
+func CheckSources(sources map[string]string, order []string, top string, opts Options) (*nn.Model, *diag.Report, error) {
+	design, err := verilog.BuildDesign(sources, order)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := Design(design)
+	if report.HasErrors() {
+		report.Sort()
+		return nil, report, nil
+	}
+	// Elaboration validates the netlist itself on exit; elaboration
+	// failures are hard errors rather than diagnostics.
+	nl, err := elaborate(design, top)
+	if err != nil {
+		return nil, report, err
+	}
+	model, rest, cerr := Check(nl, opts)
+	report.Add(rest.Diags...)
+	report.Sort()
+	return model, report, cerr
+}
+
+func elaborate(design *verilog.Design, top string) (*netlist.Netlist, error) {
+	return synth.Elaborate(design, synth.Options{Top: top, Optimize: true})
+}

@@ -18,6 +18,7 @@ package lutmap
 import (
 	"fmt"
 
+	"c2nn/internal/irlint/diag"
 	"c2nn/internal/netlist"
 	"c2nn/internal/truthtab"
 )
@@ -159,33 +160,14 @@ func (g *Graph) ComputeStats() Stats {
 }
 
 // Validate checks structural invariants: topological order, input
-// bounds, table arity agreement.
+// bounds, table arity and storage agreement. It is a thin wrapper over
+// the collect-all irlint rules in lint.go, returning the first
+// Error-severity diagnostic; use Lint to see every violation and the
+// warning-level rules.
 func (g *Graph) Validate() error {
-	for i := range g.LUTs {
-		l := &g.LUTs[i]
-		if len(l.Ins) > g.K {
-			return fmt.Errorf("lutmap: LUT %d has %d inputs > K=%d", i, len(l.Ins), g.K)
-		}
-		if l.Table.NumVars != len(l.Ins) {
-			return fmt.Errorf("lutmap: LUT %d table arity %d != %d inputs", i, l.Table.NumVars, len(l.Ins))
-		}
-		for _, in := range l.Ins {
-			if in.IsPI() {
-				if in.PI() >= g.NumPIs {
-					return fmt.Errorf("lutmap: LUT %d reads PI %d out of range", i, in.PI())
-				}
-			} else if in.LUT() >= i {
-				return fmt.Errorf("lutmap: LUT %d reads LUT %d (not topological)", i, in.LUT())
-			}
-		}
-	}
-	for oi, r := range g.Outputs {
-		if r.IsPI() {
-			if r.PI() >= g.NumPIs {
-				return fmt.Errorf("lutmap: output %d references PI out of range", oi)
-			}
-		} else if r.LUT() >= len(g.LUTs) {
-			return fmt.Errorf("lutmap: output %d references LUT out of range", oi)
+	for _, d := range g.Lint() {
+		if d.Severity == diag.Error {
+			return fmt.Errorf("lutmap: [%s] %s: %s", d.Rule, d.Loc, d.Msg)
 		}
 	}
 	return nil

@@ -1,0 +1,209 @@
+package lutmap
+
+import (
+	"encoding/binary"
+	"strconv"
+
+	"c2nn/internal/irlint/diag"
+	"c2nn/internal/truthtab"
+)
+
+// LUT-stage lint rules (LM···).
+var (
+	// RuleLUTFanin fires when a LUT has more than K inputs.
+	RuleLUTFanin = diag.Register(diag.Rule{
+		ID: "LM001", Stage: diag.StageLUT, Severity: diag.Error,
+		Summary: "LUT fanin count exceeds K"})
+	// RuleLUTArity fires when a LUT's truth table is declared over a
+	// different variable count than its fanin list.
+	RuleLUTArity = diag.Register(diag.Rule{
+		ID: "LM002", Stage: diag.StageLUT, Severity: diag.Error,
+		Summary: "truth table arity disagrees with fanin count"})
+	// RuleLUTTable fires when a truth table's packed storage is
+	// malformed: wrong word count for 2^k rows, or padding bits set.
+	RuleLUTTable = diag.Register(diag.Rule{
+		ID: "LM003", Stage: diag.StageLUT, Severity: diag.Error,
+		Summary: "truth table storage malformed (word count or padding)"})
+	// RuleLUTRef fires when a LUT input or graph output references a
+	// PI or LUT out of range, or a LUT at or after itself (the LUT
+	// array must be topologically ordered).
+	RuleLUTRef = diag.Register(diag.Rule{
+		ID: "LM004", Stage: diag.StageLUT, Severity: diag.Error,
+		Summary: "node reference out of range or not topological"})
+	// RuleLUTDuplicate fires when two LUTs compute the same table over
+	// the same fanin list — structural duplicates a hash-based mapper
+	// pass should share.
+	RuleLUTDuplicate = diag.Register(diag.Rule{
+		ID: "LM005", Stage: diag.StageLUT, Severity: diag.Warning,
+		Summary: "structurally duplicate LUT"})
+	// RuleLUTUnusedInput fires when a LUT's function does not depend
+	// on one of its declared inputs (wasted cut width).
+	RuleLUTUnusedInput = diag.Register(diag.Rule{
+		ID: "LM006", Stage: diag.StageLUT, Severity: diag.Warning,
+		Summary: "LUT function does not depend on a declared input"})
+	// RuleLUTDead fires on LUTs outside every output cone.
+	RuleLUTDead = diag.Register(diag.Rule{
+		ID: "LM007", Stage: diag.StageLUT, Severity: diag.Warning,
+		Summary: "LUT reaches no output (dead logic)"})
+	// RuleLUTDupInput fires when the same node is listed twice in one
+	// LUT's fanin list.
+	RuleLUTDupInput = diag.Register(diag.Rule{
+		ID: "LM008", Stage: diag.StageLUT, Severity: diag.Warning,
+		Summary: "duplicate node in LUT fanin list"})
+)
+
+// Lint checks every LUT-graph invariant, collecting all violations.
+func (g *Graph) Lint() []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	loc := func(i int) string { return "lut " + strconv.Itoa(i) }
+
+	refOK := func(r NodeRef, self int) bool {
+		if r.IsPI() {
+			return r.PI() < g.NumPIs
+		}
+		if self >= 0 {
+			return r.LUT() < self
+		}
+		return r.LUT() < len(g.LUTs)
+	}
+
+	lutOK := make([]bool, len(g.LUTs))
+	seen := make(map[string]int, len(g.LUTs))
+	for i := range g.LUTs {
+		l := &g.LUTs[i]
+		ok := true
+		if len(l.Ins) > g.K {
+			ds = append(ds, RuleLUTFanin.New(loc(i),
+				"%d inputs exceed K=%d", len(l.Ins), g.K))
+			ok = false
+		}
+		if l.Table.NumVars != len(l.Ins) {
+			ds = append(ds, RuleLUTArity.New(loc(i),
+				"table over %d variables, fanin list has %d entries",
+				l.Table.NumVars, len(l.Ins)))
+			ok = false
+		}
+		ds, ok = lintTable(ds, l.Table, loc(i), ok)
+		dupIn := make(map[NodeRef]bool, len(l.Ins))
+		for vi, in := range l.Ins {
+			if !refOK(in, i) {
+				if in.IsPI() {
+					ds = append(ds, RuleLUTRef.New(loc(i),
+						"input %d references PI %d, graph has %d PIs",
+						vi, in.PI(), g.NumPIs))
+				} else {
+					ds = append(ds, RuleLUTRef.New(loc(i),
+						"input %d references LUT %d ≥ own index (not topological)",
+						vi, in.LUT()))
+				}
+				ok = false
+				continue
+			}
+			if dupIn[in] {
+				ds = append(ds, RuleLUTDupInput.New(loc(i),
+					"input %d repeats node %d in the fanin list", vi, in))
+			}
+			dupIn[in] = true
+		}
+		lutOK[i] = ok
+		if !ok {
+			continue
+		}
+		// Unused declared inputs (function independent of the variable).
+		for vi := range l.Ins {
+			if !l.Table.DependsOn(vi) {
+				ds = append(ds, RuleLUTUnusedInput.New(loc(i),
+					"function ignores input %d (node %d)", vi, l.Ins[vi]))
+			}
+		}
+		key := structKey(l)
+		if prev, dup := seen[key]; dup {
+			ds = append(ds, RuleLUTDuplicate.New(loc(i),
+				"same fanins and table as LUT %d", prev))
+		} else {
+			seen[key] = i
+		}
+	}
+
+	// Output references and backwards reachability.
+	live := make([]bool, len(g.LUTs))
+	var stack []int
+	for oi, r := range g.Outputs {
+		if !refOK(r, -1) {
+			ds = append(ds, RuleLUTRef.New("output "+strconv.Itoa(oi),
+				"references node %d out of range", r))
+			continue
+		}
+		if !r.IsPI() && !live[r.LUT()] {
+			live[r.LUT()] = true
+			stack = append(stack, r.LUT())
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !lutOK[u] {
+			continue
+		}
+		for _, in := range g.LUTs[u].Ins {
+			if !in.IsPI() && in.LUT() >= 0 && in.LUT() < len(g.LUTs) && !live[in.LUT()] {
+				live[in.LUT()] = true
+				stack = append(stack, in.LUT())
+			}
+		}
+	}
+	for i := range g.LUTs {
+		if lutOK[i] && !live[i] {
+			ds = append(ds, RuleLUTDead.New(loc(i),
+				"LUT is outside every output cone"))
+		}
+	}
+	return ds
+}
+
+// lintTable checks the packed-storage invariants of a truth table:
+// exactly the word count 2^k rows require, no stray padding bits in the
+// final word of sub-word tables.
+func lintTable(ds []diag.Diagnostic, t truthtab.Table, loc string, ok bool) ([]diag.Diagnostic, bool) {
+	if t.NumVars < 0 || t.NumVars > truthtab.MaxVars {
+		ds = append(ds, RuleLUTTable.New(loc,
+			"table variable count %d outside [0, %d]", t.NumVars, truthtab.MaxVars))
+		return ds, false
+	}
+	want := 1
+	if t.NumVars > 6 {
+		want = 1 << uint(t.NumVars-6)
+	}
+	if len(t.Words) != want {
+		ds = append(ds, RuleLUTTable.New(loc,
+			"table over %d variables stores %d words, needs %d",
+			t.NumVars, len(t.Words), want))
+		return ds, false
+	}
+	if t.NumVars < 6 {
+		valid := uint64(1)<<(1<<uint(t.NumVars)) - 1
+		if t.Words[0]&^valid != 0 {
+			ds = append(ds, RuleLUTTable.New(loc,
+				"table has padding bits set beyond row %d", 1<<uint(t.NumVars)))
+			return ds, false
+		}
+	}
+	return ds, ok
+}
+
+// structKey serialises a LUT's fanins and table for duplicate
+// detection.
+func structKey(l *LUT) string {
+	buf := make([]byte, 0, 4*len(l.Ins)+8*len(l.Table.Words)+4)
+	var tmp [8]byte
+	for _, in := range l.Ins {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(in))
+		buf = append(buf, tmp[:4]...)
+	}
+	buf = append(buf, '|')
+	for _, w := range l.Table.Words {
+		binary.LittleEndian.PutUint64(tmp[:], w)
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}

@@ -336,6 +336,9 @@ func buildGraph(g *aig.AIG, outputs []aig.Lit, bestCut [][]int32, opts Options) 
 			gr.Outputs = append(gr.Outputs, NodeRef(nidx))
 		}
 	}
+	// Canonicalise: prune unused cut leaves, share duplicate LUTs,
+	// sweep dead cones (lint rules LM005/LM006/LM007).
+	gr = Normalize(gr)
 	if err := gr.Validate(); err != nil {
 		return nil, err
 	}

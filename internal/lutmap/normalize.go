@@ -1,0 +1,166 @@
+package lutmap
+
+import "c2nn/internal/truthtab"
+
+// Normalize canonicalises a LUT graph without changing its outputs'
+// functions:
+//
+//   - inputs a LUT's function does not depend on are pruned, shrinking
+//     the truth table by cofactoring (lint rule LM006: every declared
+//     fanin costs polynomial terms and NN connections downstream);
+//   - structurally identical LUTs — same fanin list and truth table —
+//     are shared, remapping every reference (lint rule LM005);
+//   - single-input identity LUTs (buffers) are forwarded to their
+//     fanin.
+//
+// Both defects are natural artefacts of cut-based mapping: a priority
+// cut can carry leaves its cone function cancels out, and distinct AIG
+// nodes can map to identical cuts. The pass preserves topological
+// order and runs in one forward sweep; MapNetlist applies it to every
+// mapping before validation.
+func Normalize(g *Graph) *Graph {
+	out := &Graph{K: g.K, NumPIs: g.NumPIs}
+	remap := make([]NodeRef, len(g.LUTs))
+	seen := make(map[string]NodeRef, len(g.LUTs))
+
+	for i := range g.LUTs {
+		l := g.LUTs[i]
+
+		// Remap fanins through earlier rewrites.
+		ins := make([]NodeRef, len(l.Ins))
+		for v, in := range l.Ins {
+			if in.IsPI() {
+				ins[v] = in
+			} else {
+				ins[v] = remap[in.LUT()]
+			}
+		}
+		table := l.Table
+
+		// Sharing can make two fanins of one LUT coincide (both
+		// remapped to the same survivor): identify the variables in
+		// the table and drop the later fanin (lint rule LM008).
+		for v := len(ins) - 1; v >= 1; v-- {
+			for u := 0; u < v; u++ {
+				if ins[u] == ins[v] {
+					table = identifyVars(table, u, v)
+					ins = append(ins[:v], ins[v+1:]...)
+					break
+				}
+			}
+		}
+
+		// Prune unused inputs, highest variable first so lower
+		// variable positions stay valid while shrinking.
+		for v := len(ins) - 1; v >= 0; v-- {
+			if !table.DependsOn(v) {
+				table = table.Cofactor(v, false)
+				ins = append(ins[:v], ins[v+1:]...)
+			}
+		}
+
+		// Forward buffers: a 1-input identity LUT is its fanin.
+		if len(ins) == 1 && table.Bit(0) == false && table.Bit(1) == true {
+			remap[i] = ins[0]
+			continue
+		}
+
+		key := structKey(&LUT{Ins: ins, Table: table})
+		if ref, dup := seen[key]; dup {
+			remap[i] = ref
+			continue
+		}
+		ref := NodeRef(len(out.LUTs))
+		out.LUTs = append(out.LUTs, LUT{Ins: ins, Table: table})
+		seen[key] = ref
+		remap[i] = ref
+	}
+
+	out.Outputs = make([]NodeRef, len(g.Outputs))
+	for j, r := range g.Outputs {
+		if r.IsPI() {
+			out.Outputs[j] = r
+		} else {
+			out.Outputs[j] = remap[r.LUT()]
+		}
+	}
+	return sweepDead(out)
+}
+
+// identifyVars returns the table over one fewer variable obtained by
+// substituting variable v := variable u (u < v): rows are re-read with
+// v's bit forced to u's value, and v removed from the encoding.
+func identifyVars(t truthtab.Table, u, v int) truthtab.Table {
+	r := truthtab.New(t.NumVars - 1)
+	low := 1<<uint(v) - 1 // bits below v
+	for i := 0; i < r.Size(); i++ {
+		src := i&low | (i&^low)<<1
+		if i>>uint(u)&1 == 1 {
+			src |= 1 << uint(v)
+		}
+		r.SetBit(i, t.Bit(src))
+	}
+	return r
+}
+
+// sweepDead drops LUTs outside every output cone (lint rule LM007) —
+// dead on arrival, or orphaned when Normalize redirected the users of
+// a duplicate away from its private fanin cone — and renumbers the
+// survivors, preserving topological order.
+func sweepDead(g *Graph) *Graph {
+	live := make([]bool, len(g.LUTs))
+	var stack []int
+	mark := func(r NodeRef) {
+		if !r.IsPI() && !live[r.LUT()] {
+			live[r.LUT()] = true
+			stack = append(stack, r.LUT())
+		}
+	}
+	for _, r := range g.Outputs {
+		mark(r)
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range g.LUTs[u].Ins {
+			mark(in)
+		}
+	}
+
+	alive := 0
+	for _, v := range live {
+		if v {
+			alive++
+		}
+	}
+	if alive == len(g.LUTs) {
+		return g
+	}
+	out := &Graph{K: g.K, NumPIs: g.NumPIs, LUTs: make([]LUT, 0, alive)}
+	remap := make([]NodeRef, len(g.LUTs))
+	for i := range g.LUTs {
+		if !live[i] {
+			continue
+		}
+		l := g.LUTs[i]
+		ins := make([]NodeRef, len(l.Ins))
+		for v, in := range l.Ins {
+			if in.IsPI() {
+				ins[v] = in
+			} else {
+				ins[v] = remap[in.LUT()]
+			}
+		}
+		remap[i] = NodeRef(len(out.LUTs))
+		out.LUTs = append(out.LUTs, LUT{Ins: ins, Table: l.Table})
+	}
+	out.Outputs = make([]NodeRef, len(g.Outputs))
+	for j, r := range g.Outputs {
+		if r.IsPI() {
+			out.Outputs[j] = r
+		} else {
+			out.Outputs[j] = remap[r.LUT()]
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package netlist
+
+import (
+	"strconv"
+
+	"c2nn/internal/irlint/diag"
+)
+
+// Netlist-stage lint rules (NL···). Lint collects every violation; the
+// legacy Validate wrapper in validate.go returns only the first error.
+var (
+	// RuleNetRange fires when a port, gate or flip-flop references a
+	// net ID outside [0, NumNets).
+	RuleNetRange = diag.Register(diag.Rule{
+		ID: "NL001", Stage: diag.StageNetlist, Severity: diag.Error,
+		Summary: "net reference out of range"})
+	// RuleMultiDriven fires when a net has more than one driver
+	// (gate output, primary input or flip-flop Q).
+	RuleMultiDriven = diag.Register(diag.Rule{
+		ID: "NL002", Stage: diag.StageNetlist, Severity: diag.Error,
+		Summary: "net has multiple drivers"})
+	// RuleUndrivenOutput fires when a combinational output — a primary
+	// output bit or a flip-flop D pin — has no driver.
+	RuleUndrivenOutput = diag.Register(diag.Rule{
+		ID: "NL003", Stage: diag.StageNetlist, Severity: diag.Error,
+		Summary: "combinational output is undriven"})
+	// RuleReadUndriven fires when a gate input reads a net that is
+	// neither a combinational input nor any gate or flip-flop output.
+	RuleReadUndriven = diag.Register(diag.Rule{
+		ID: "NL004", Stage: diag.StageNetlist, Severity: diag.Error,
+		Summary: "gate reads an undriven net"})
+	// RuleCombCycle fires once per combinational cycle (strongly
+	// connected gate component not broken by a flip-flop, §III-C).
+	RuleCombCycle = diag.Register(diag.Rule{
+		ID: "NL005", Stage: diag.StageNetlist, Severity: diag.Error,
+		Summary: "combinational cycle not broken by a flip-flop"})
+	// RuleBadGateKind fires on a gate whose kind is not a defined
+	// primitive.
+	RuleBadGateKind = diag.Register(diag.Rule{
+		ID: "NL006", Stage: diag.StageNetlist, Severity: diag.Error,
+		Summary: "invalid gate kind"})
+	// RuleDeadGate fires on gates whose output cone reaches no primary
+	// output and no flip-flop D pin — dead logic the mapper would
+	// silently drop.
+	RuleDeadGate = diag.Register(diag.Rule{
+		ID: "NL007", Stage: diag.StageNetlist, Severity: diag.Warning,
+		Summary: "gate drives no output cone (dead logic)"})
+	// RuleUnusedInput fires on primary input bits with no fanout.
+	// Legitimate designs carry these (reserved bus bits), hence Info.
+	RuleUnusedInput = diag.Register(diag.Rule{
+		ID: "NL008", Stage: diag.StageNetlist, Severity: diag.Info,
+		Summary: "primary input bit has no fanout"})
+)
+
+// Lint runs every netlist-stage rule and returns all violations found.
+// Unlike the first-error Validate, it keeps going after a violation so
+// one run reports every problem in the IR.
+func (n *Netlist) Lint() []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	inRange := func(id NetID) bool { return id >= 0 && int(id) < n.numNets }
+
+	// Driver classification; out-of-range references are reported and
+	// then excluded so later passes stay in bounds.
+	const (
+		drvNone = iota
+		drvGate
+		drvInput
+		drvFF
+	)
+	driver := make([]int8, n.numNets)
+	driver[ConstZero] = drvInput
+	driver[ConstOne] = drvInput
+
+	claim := func(id NetID, kind int8, loc string) {
+		if driver[id] != drvNone {
+			ds = append(ds, RuleMultiDriven.New(loc,
+				"net %s has multiple drivers", n.NameOf(id)))
+			return
+		}
+		driver[id] = kind
+	}
+
+	for pi := range n.Inputs {
+		p := &n.Inputs[pi]
+		for bi, b := range p.Bits {
+			if !inRange(b) {
+				ds = append(ds, RuleNetRange.New(
+					locInput(p.Name, bi, len(p.Bits)),
+					"references net %d, netlist has %d nets", b, n.numNets))
+				continue
+			}
+			claim(b, drvInput, locInput(p.Name, bi, len(p.Bits)))
+		}
+	}
+	for fi := range n.FFs {
+		ff := &n.FFs[fi]
+		if !inRange(ff.D) {
+			ds = append(ds, RuleNetRange.New(locFF(fi),
+				"D pin references net %d, netlist has %d nets", ff.D, n.numNets))
+		}
+		if !inRange(ff.Q) {
+			ds = append(ds, RuleNetRange.New(locFF(fi),
+				"Q pin references net %d, netlist has %d nets", ff.Q, n.numNets))
+			continue
+		}
+		claim(ff.Q, drvFF, locFF(fi))
+	}
+
+	gateOK := make([]bool, len(n.Gates)) // kind valid and all refs in range
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		if g.Kind >= numGateKinds {
+			ds = append(ds, RuleBadGateKind.New(locGate(gi),
+				"gate kind %d is not a defined primitive", g.Kind))
+			continue
+		}
+		ok := true
+		if !inRange(g.Out) {
+			ds = append(ds, RuleNetRange.New(locGate(gi),
+				"%s output references net %d, netlist has %d nets", g.Kind, g.Out, n.numNets))
+			ok = false
+		} else {
+			claim(g.Out, drvGate, locGate(gi))
+		}
+		for ii, in := range g.Inputs() {
+			if !inRange(in) {
+				ds = append(ds, RuleNetRange.New(locGate(gi),
+					"%s input %d references net %d, netlist has %d nets", g.Kind, ii, in, n.numNets))
+				ok = false
+			}
+		}
+		gateOK[gi] = ok
+	}
+
+	for pi := range n.Outputs {
+		p := &n.Outputs[pi]
+		for bi, b := range p.Bits {
+			if !inRange(b) {
+				ds = append(ds, RuleNetRange.New(
+					locOutput(p.Name, bi, len(p.Bits)),
+					"references net %d, netlist has %d nets", b, n.numNets))
+				continue
+			}
+			if driver[b] == drvNone {
+				ds = append(ds, RuleUndrivenOutput.New(
+					locOutput(p.Name, bi, len(p.Bits)),
+					"output bit %s is undriven", n.NameOf(b)))
+			}
+		}
+	}
+	for fi := range n.FFs {
+		d := n.FFs[fi].D
+		if inRange(d) && driver[d] == drvNone {
+			ds = append(ds, RuleUndrivenOutput.New(locFF(fi),
+				"flip-flop data pin %s is undriven", n.NameOf(d)))
+		}
+	}
+
+	// Undriven gate reads, over well-formed gates only.
+	for gi := range n.Gates {
+		if !gateOK[gi] {
+			continue
+		}
+		g := &n.Gates[gi]
+		for _, in := range g.Inputs() {
+			if driver[in] == drvNone {
+				ds = append(ds, RuleReadUndriven.New(locGate(gi),
+					"%s gate driving %s reads undriven net %s",
+					g.Kind, n.NameOf(g.Out), n.NameOf(in)))
+			}
+		}
+	}
+
+	ds = append(ds, n.lintCycles(gateOK)...)
+	ds = append(ds, n.lintDeadLogic(gateOK, driver)...)
+	return ds
+}
+
+// lintCycles finds every strongly connected component of the gate
+// dependency graph with more than one gate (or a self-loop) and emits
+// one RuleCombCycle diagnostic per component — collect-all, where
+// Levelize stops at the first back edge.
+func (n *Netlist) lintCycles(gateOK []bool) []diag.Diagnostic {
+	drv := n.DriverIndex()
+	// Successor lists: succ[g] holds the well-formed gates driving g's
+	// inputs. Self-loops are kept — they are cycles of length one.
+	succ := make([][]int32, len(n.Gates))
+	for gi := range n.Gates {
+		if !gateOK[gi] {
+			continue
+		}
+		for _, in := range n.Gates[gi].Inputs() {
+			if di := drv[in]; di >= 0 && gateOK[di] {
+				succ[gi] = append(succ[gi], di)
+			}
+		}
+	}
+
+	// Iterative Tarjan SCC over the gate dependency graph.
+	const unvisited = -1
+	index := make([]int32, len(n.Gates))
+	low := make([]int32, len(n.Gates))
+	onStack := make([]bool, len(n.Gates))
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		ds      []diag.Diagnostic
+		counter int32
+		stack   []int32 // Tarjan stack
+	)
+
+	type frame struct {
+		gate int32
+		next int // next successor to follow
+	}
+	var call []frame
+
+	reportSCC := func(members []int32) {
+		// Name up to three nets on the cycle for the message.
+		names := ""
+		for i, gi := range members {
+			if i == 3 {
+				names += ", …"
+				break
+			}
+			if i > 0 {
+				names += ", "
+			}
+			names += n.NameOf(n.Gates[gi].Out)
+		}
+		ds = append(ds, RuleCombCycle.New(locGate(int(members[0])),
+			"combinational cycle through %d gate(s): nets %s", len(members), names))
+	}
+
+	for root := range n.Gates {
+		if !gateOK[root] || index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{gate: int32(root)})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			gi := f.gate
+			if f.next < len(succ[gi]) {
+				s := succ[gi][f.next]
+				f.next++
+				if index[s] == unvisited {
+					index[s] = counter
+					low[s] = counter
+					counter++
+					stack = append(stack, s)
+					onStack[s] = true
+					call = append(call, frame{gate: s})
+				} else if onStack[s] && index[s] < low[gi] {
+					low[gi] = index[s]
+				}
+				continue
+			}
+			// All successors done: close the node.
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].gate
+				if low[gi] < low[parent] {
+					low[parent] = low[gi]
+				}
+			}
+			if low[gi] == index[gi] {
+				// Pop the component.
+				var members []int32
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					members = append(members, m)
+					if m == gi {
+						break
+					}
+				}
+				selfLoop := false
+				if len(members) == 1 {
+					for _, s := range succ[gi] {
+						if s == gi {
+							selfLoop = true
+						}
+					}
+				}
+				if len(members) > 1 || selfLoop {
+					reportSCC(members)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// lintDeadLogic reports gates outside every output cone (NL007) and
+// primary input bits with no fanout (NL008).
+func (n *Netlist) lintDeadLogic(gateOK []bool, driver []int8) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	drv := n.DriverIndex()
+
+	// Backwards reachability from the combinational outputs.
+	live := make([]bool, len(n.Gates))
+	var stack []int32
+	seed := func(id NetID) {
+		if id >= 0 && int(id) < n.numNets {
+			if gi := drv[id]; gi >= 0 && gateOK[gi] && !live[gi] {
+				live[gi] = true
+				stack = append(stack, gi)
+			}
+		}
+	}
+	for _, id := range n.CombOutputs() {
+		seed(id)
+	}
+	for len(stack) > 0 {
+		gi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range n.Gates[gi].Inputs() {
+			seed(in)
+		}
+	}
+	for gi := range n.Gates {
+		if gateOK[gi] && !live[gi] {
+			ds = append(ds, RuleDeadGate.New(locGate(gi),
+				"%s gate driving %s reaches no output or flip-flop",
+				n.Gates[gi].Kind, n.NameOf(n.Gates[gi].Out)))
+		}
+	}
+
+	// Input fanout: read by a gate, exported by an output port, or
+	// latched by a flip-flop D pin.
+	read := make([]bool, n.numNets)
+	mark := func(id NetID) {
+		if id >= 0 && int(id) < n.numNets {
+			read[id] = true
+		}
+	}
+	for gi := range n.Gates {
+		if !gateOK[gi] {
+			continue
+		}
+		for _, in := range n.Gates[gi].Inputs() {
+			mark(in)
+		}
+	}
+	for i := range n.FFs {
+		mark(n.FFs[i].D)
+	}
+	for i := range n.Outputs {
+		for _, b := range n.Outputs[i].Bits {
+			mark(b)
+		}
+	}
+	for pi := range n.Inputs {
+		p := &n.Inputs[pi]
+		for bi, b := range p.Bits {
+			if b >= 0 && int(b) < n.numNets && !read[b] {
+				ds = append(ds, RuleUnusedInput.New(
+					locInput(p.Name, bi, len(p.Bits)),
+					"input bit %s is never read", n.NameOf(b)))
+			}
+		}
+	}
+	return ds
+}
+
+func locGate(gi int) string { return "gate " + strconv.Itoa(gi) }
+func locFF(fi int) string   { return "ff " + strconv.Itoa(fi) }
+
+func locInput(name string, bit, width int) string {
+	if width == 1 {
+		return "input " + name
+	}
+	return "input " + name + "[" + strconv.Itoa(bit) + "]"
+}
+
+func locOutput(name string, bit, width int) string {
+	if width == 1 {
+		return "output " + name
+	}
+	return "output " + name + "[" + strconv.Itoa(bit) + "]"
+}

@@ -1,79 +1,25 @@
 package netlist
 
-import "fmt"
+import (
+	"fmt"
+
+	"c2nn/internal/irlint/diag"
+)
 
 // Validate performs structural sanity checks: every net has at most one
 // driver, every referenced net exists, ports reference valid nets, every
 // combinational output (primary outputs and flip-flop D pins) is driven,
 // and the combinational core is acyclic.
+//
+// Validate is a thin wrapper over the collect-all irlint rules in
+// lint.go: it returns the first Error-severity diagnostic as an error
+// and ignores warnings. Callers that want every violation (and the
+// warning-level rules) should use Lint.
 func (n *Netlist) Validate() error {
-	inRange := func(id NetID) bool { return id >= 0 && int(id) < n.numNets }
-
-	driver := make([]int8, n.numNets) // 0 none, 1 gate, 2 input, 3 ff
-	driver[ConstZero] = 2
-	driver[ConstOne] = 2
-
-	for pi := range n.Inputs {
-		p := &n.Inputs[pi]
-		for _, b := range p.Bits {
-			if !inRange(b) {
-				return fmt.Errorf("netlist %q: input %s references net %d out of range", n.Name, p.Name, b)
-			}
-			if driver[b] != 0 {
-				return fmt.Errorf("netlist %q: input %s bit %s has multiple drivers", n.Name, p.Name, n.NameOf(b))
-			}
-			driver[b] = 2
+	for _, d := range n.Lint() {
+		if d.Severity == diag.Error {
+			return fmt.Errorf("netlist %q: [%s] %s: %s", n.Name, d.Rule, d.Loc, d.Msg)
 		}
-	}
-	for fi := range n.FFs {
-		ff := &n.FFs[fi]
-		if !inRange(ff.D) || !inRange(ff.Q) {
-			return fmt.Errorf("netlist %q: flip-flop %d references net out of range", n.Name, fi)
-		}
-		if driver[ff.Q] != 0 {
-			return fmt.Errorf("netlist %q: flip-flop output %s has multiple drivers", n.Name, n.NameOf(ff.Q))
-		}
-		driver[ff.Q] = 3
-	}
-	for gi := range n.Gates {
-		g := &n.Gates[gi]
-		if g.Kind >= numGateKinds {
-			return fmt.Errorf("netlist %q: gate %d has invalid kind %d", n.Name, gi, g.Kind)
-		}
-		if !inRange(g.Out) {
-			return fmt.Errorf("netlist %q: gate %d output net %d out of range", n.Name, gi, g.Out)
-		}
-		if driver[g.Out] != 0 {
-			return fmt.Errorf("netlist %q: net %s has multiple drivers", n.Name, n.NameOf(g.Out))
-		}
-		driver[g.Out] = 1
-		for _, in := range g.Inputs() {
-			if !inRange(in) {
-				return fmt.Errorf("netlist %q: gate %d input net %d out of range", n.Name, gi, in)
-			}
-		}
-	}
-
-	for pi := range n.Outputs {
-		p := &n.Outputs[pi]
-		for _, b := range p.Bits {
-			if !inRange(b) {
-				return fmt.Errorf("netlist %q: output %s references net %d out of range", n.Name, p.Name, b)
-			}
-			if driver[b] == 0 {
-				return fmt.Errorf("netlist %q: output %s bit %s is undriven", n.Name, p.Name, n.NameOf(b))
-			}
-		}
-	}
-	for fi := range n.FFs {
-		if driver[n.FFs[fi].D] == 0 {
-			return fmt.Errorf("netlist %q: flip-flop %d data pin %s is undriven", n.Name, fi, n.NameOf(n.FFs[fi].D))
-		}
-	}
-
-	// Acyclicity (and undriven gate inputs) are checked by Levelize.
-	if _, err := n.Levelize(); err != nil {
-		return err
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ package nn
 import (
 	"fmt"
 
+	"c2nn/internal/irlint/diag"
 	"c2nn/internal/tensor"
 )
 
@@ -109,30 +110,15 @@ func (n *Network) ComputeStats() Stats {
 	return s
 }
 
-// Validate checks the structural invariants of the layer chain.
+// Validate checks the structural invariants of the layer chain. It is
+// a thin wrapper over the collect-all irlint rules in lint.go,
+// returning the first Error-severity diagnostic; use Lint to see every
+// violation.
 func (n *Network) Validate() error {
-	units := 1 + n.NumPIs
-	if len(n.SegStart) != len(n.Layers) {
-		return fmt.Errorf("nn: %d segments for %d layers", len(n.SegStart), len(n.Layers))
-	}
-	for i := range n.Layers {
-		l := &n.Layers[i]
-		if int(n.SegStart[i]) != units {
-			return fmt.Errorf("nn: layer %d segment %d, expected %d", i, n.SegStart[i], units)
+	for _, d := range n.Lint() {
+		if d.Severity == diag.Error {
+			return fmt.Errorf("nn: [%s] %s: %s", d.Rule, d.Loc, d.Msg)
 		}
-		if l.W.Cols > units {
-			return fmt.Errorf("nn: layer %d reads %d units, only %d exist", i, l.W.Cols, units)
-		}
-		if l.Threshold && len(l.Bias) != l.W.Rows {
-			return fmt.Errorf("nn: layer %d bias length %d != rows %d", i, len(l.Bias), l.W.Rows)
-		}
-		if !l.Threshold && l.Bias != nil {
-			return fmt.Errorf("nn: linear layer %d carries a bias", i)
-		}
-		units += l.W.Rows
-	}
-	if units != n.TotalUnits {
-		return fmt.Errorf("nn: total units %d, expected %d", n.TotalUnits, units)
 	}
 	return nil
 }

@@ -1,0 +1,85 @@
+package poly
+
+import (
+	"c2nn/internal/irlint/diag"
+	"c2nn/internal/truthtab"
+)
+
+// Polynomial-stage lint rules (PL···).
+var (
+	// RulePolyMask fires when a term's monomial mask uses a variable
+	// outside the polynomial's declared variable count.
+	RulePolyMask = diag.Register(diag.Rule{
+		ID: "PL001", Stage: diag.StagePoly, Severity: diag.Error,
+		Summary: "term mask references a variable out of range"})
+	// RulePolyOrder fires when terms are not strictly ascending by
+	// mask (the sparse invariant Eval and ConstTerm rely on).
+	RulePolyOrder = diag.Register(diag.Rule{
+		ID: "PL002", Stage: diag.StagePoly, Severity: diag.Error,
+		Summary: "terms not in strictly ascending mask order"})
+	// RulePolyZero fires on stored terms with a zero coefficient,
+	// which waste neurons downstream.
+	RulePolyZero = diag.Register(diag.Rule{
+		ID: "PL003", Stage: diag.StagePoly, Severity: diag.Warning,
+		Summary: "zero-coefficient term stored"})
+	// RulePolyMismatch fires when re-evaluating the polynomial over
+	// every input assignment disagrees with the source truth table —
+	// the spot check of the paper's computational-equivalence claim at
+	// the polynomial boundary.
+	RulePolyMismatch = diag.Register(diag.Rule{
+		ID: "PL004", Stage: diag.StagePoly, Severity: diag.Error,
+		Summary: "polynomial disagrees with its source truth table"})
+)
+
+// Lint checks the structural invariants of the polynomial.
+func (p Poly) Lint(loc string) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	limit := uint32(1)<<uint(p.NumVars) - 1
+	prevMask := int64(-1)
+	ordered := true
+	for ti, t := range p.Terms {
+		if p.NumVars < 32 && t.Mask > limit {
+			ds = append(ds, RulePolyMask.New(loc,
+				"term %d mask %#x uses variables beyond the %d declared",
+				ti, t.Mask, p.NumVars))
+		}
+		if int64(t.Mask) <= prevMask && ordered {
+			ds = append(ds, RulePolyOrder.New(loc,
+				"term %d mask %#x does not ascend past %#x", ti, t.Mask, prevMask))
+			ordered = false // one diagnostic per polynomial is enough
+		}
+		prevMask = int64(t.Mask)
+		if t.Coeff == 0 {
+			ds = append(ds, RulePolyZero.New(loc,
+				"term %d with mask %#x has coefficient 0", ti, t.Mask))
+		}
+	}
+	return ds
+}
+
+// LintAgainstTable re-evaluates the polynomial on every one of the 2^k
+// input assignments of the truth table it was derived from and reports
+// any disagreement (including non-Boolean values). The caller bounds k;
+// the verifier only spot-checks tables with k ≤ 8.
+func LintAgainstTable(p Poly, t truthtab.Table, loc string) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	if p.NumVars != t.NumVars {
+		ds = append(ds, RulePolyMismatch.New(loc,
+			"polynomial over %d variables checked against %d-variable table",
+			p.NumVars, t.NumVars))
+		return ds
+	}
+	for x := 0; x < t.Size(); x++ {
+		got := p.Eval(uint32(x))
+		want := int64(0)
+		if t.Bit(x) {
+			want = 1
+		}
+		if got != want {
+			ds = append(ds, RulePolyMismatch.New(loc,
+				"assignment %0*b evaluates to %d, table says %d",
+				p.NumVars, x, got, want))
+		}
+	}
+	return ds
+}

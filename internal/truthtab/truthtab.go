@@ -214,6 +214,28 @@ func (t Table) DependsOn(v int) bool {
 	return false
 }
 
+// Cofactor returns the (k−1)-variable table obtained by fixing
+// variable v to val: remaining variables keep their relative order.
+// For a function that does not depend on v (DependsOn(v) == false) the
+// cofactor computes the same function over one fewer input — the
+// shrink used by lutmap.Normalize to prune unused cut leaves.
+func (t Table) Cofactor(v int, val bool) Table {
+	if v < 0 || v >= t.NumVars {
+		panic(fmt.Sprintf("truthtab: cofactor variable %d out of range for %d-input table", v, t.NumVars))
+	}
+	r := New(t.NumVars - 1)
+	low := 1<<uint(v) - 1 // bits below v
+	fix := 0
+	if val {
+		fix = 1 << uint(v)
+	}
+	for i := 0; i < r.Size(); i++ {
+		src := i&low | (i&^low)<<1 | fix
+		r.SetBit(i, t.Bit(src))
+	}
+	return r
+}
+
 // Eval applies the table to a concrete input assignment (bit i of x is
 // variable i).
 func (t Table) Eval(x uint64) bool {

@@ -1,0 +1,146 @@
+package verilog
+
+import (
+	"fmt"
+
+	"c2nn/internal/irlint/diag"
+)
+
+// AST-stage lint rules (VA···). These run on the parsed Design before
+// elaboration; the deeper semantic checks (width, hierarchy) stay in
+// internal/synth, which reports hard errors of its own.
+var (
+	// RuleASTUnknownModule fires when an instance names a module the
+	// design does not define.
+	RuleASTUnknownModule = diag.Register(diag.Rule{
+		ID: "VA001", Stage: diag.StageAST, Severity: diag.Error,
+		Summary: "instance of a module the design does not define"})
+	// RuleASTDupDecl fires when a name is declared twice in one module
+	// (two net declarations, or a net colliding with a parameter).
+	RuleASTDupDecl = diag.Register(diag.Rule{
+		ID: "VA002", Stage: diag.StageAST, Severity: diag.Error,
+		Summary: "name declared more than once in a module"})
+	// RuleASTUndeclaredPort fires when a header port has no matching
+	// directed declaration in the module body (non-ANSI style with the
+	// direction declaration missing).
+	RuleASTUndeclaredPort = diag.Register(diag.Rule{
+		ID: "VA003", Stage: diag.StageAST, Severity: diag.Error,
+		Summary: "header port never given a direction declaration"})
+	// RuleASTBadConnection fires when a named instance connection
+	// references a port the target module does not declare.
+	RuleASTBadConnection = diag.Register(diag.Rule{
+		ID: "VA004", Stage: diag.StageAST, Severity: diag.Error,
+		Summary: "named connection to a port the target module lacks"})
+	// RuleASTDupPort fires when the same name appears twice in a
+	// module's header port list.
+	RuleASTDupPort = diag.Register(diag.Rule{
+		ID: "VA005", Stage: diag.StageAST, Severity: diag.Error,
+		Summary: "duplicate name in the header port list"})
+)
+
+// Lint checks every module of the design, collecting all violations.
+func (d *Design) Lint() []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, name := range d.Order {
+		ds = append(ds, lintModule(d, d.Modules[name])...)
+	}
+	return ds
+}
+
+func lintModule(d *Design, m *Module) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	loc := func(pos Pos) string { return fmt.Sprintf("module %s (%s)", m.Name, pos) }
+
+	// Header port list: duplicates, and direction coverage.
+	headerPorts := make(map[string]bool, len(m.Ports))
+	for _, p := range m.Ports {
+		if headerPorts[p.Name] {
+			ds = append(ds, RuleASTDupPort.New(loc(p.Pos),
+				"port %q listed twice in the header", p.Name))
+			continue
+		}
+		headerPorts[p.Name] = true
+	}
+
+	// Declarations: walk top-level items (generate bodies introduce
+	// their own scopes during elaboration and are skipped here).
+	declared := make(map[string]Pos)
+	directed := make(map[string]bool) // names with a port direction
+	declare := func(name string, pos Pos) {
+		if prev, dup := declared[name]; dup {
+			ds = append(ds, RuleASTDupDecl.New(loc(pos),
+				"%q already declared at %s", name, prev))
+			return
+		}
+		declared[name] = pos
+	}
+	for _, p := range m.Ports {
+		if p.Decl != nil && p.Decl.Dir != DirNone {
+			directed[p.Name] = true
+		}
+	}
+	for _, item := range m.Items {
+		switch it := item.(type) {
+		case *NetDecl:
+			for _, dn := range it.Names {
+				// Non-ANSI port declarations (`input x;` then `wire x;`
+				// or `reg x;`) legally re-declare the name: only treat
+				// a second *directed* declaration as a duplicate.
+				if it.Dir != DirNone {
+					if directed[dn.Name] {
+						ds = append(ds, RuleASTDupDecl.New(loc(dn.Pos),
+							"port %q given a direction twice", dn.Name))
+					}
+					directed[dn.Name] = true
+				} else {
+					declare(dn.Name, dn.Pos)
+				}
+			}
+		case *ParamDecl:
+			declare(it.Name, it.Pos)
+		case *FunctionDecl:
+			declare(it.Name, it.Pos)
+		case *GenvarDecl:
+			for _, name := range it.Names {
+				declare(name, it.Pos)
+			}
+		case *Instance:
+			target, ok := d.Modules[it.ModuleName]
+			if !ok {
+				ds = append(ds, RuleASTUnknownModule.New(loc(it.Pos),
+					"instance %q references undefined module %q", it.Name, it.ModuleName))
+				continue
+			}
+			targetPorts := make(map[string]bool, len(target.Ports))
+			for _, p := range target.Ports {
+				targetPorts[p.Name] = true
+			}
+			for _, c := range it.Ports {
+				if c.Named && !targetPorts[c.Name] {
+					ds = append(ds, RuleASTBadConnection.New(loc(c.Pos),
+						"instance %q connects port %q, module %q has no such port",
+						it.Name, c.Name, it.ModuleName))
+				}
+			}
+			targetParams := make(map[string]bool, len(target.Params))
+			for _, p := range target.Params {
+				targetParams[p.Name] = true
+			}
+			for _, c := range it.Params {
+				if c.Named && !targetParams[c.Name] {
+					ds = append(ds, RuleASTBadConnection.New(loc(c.Pos),
+						"instance %q overrides parameter %q, module %q has no such parameter",
+						it.Name, c.Name, it.ModuleName))
+				}
+			}
+		}
+	}
+
+	for _, p := range m.Ports {
+		if !directed[p.Name] {
+			ds = append(ds, RuleASTUndeclaredPort.New(loc(p.Pos),
+				"port %q has no input/output declaration", p.Name))
+		}
+	}
+	return ds
+}
