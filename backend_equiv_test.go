@@ -1,0 +1,177 @@
+package c2nn
+
+// Differential backend-equivalence tests: the float32, int32 and
+// bit-packed execution substrates must produce bit-identical outputs on
+// every benchmark circuit and on randomly generated netlists. This is
+// the dynamic counterpart of the plan-stage lint rules — the packed
+// backend's bit-sliced arithmetic is only trusted because these tests
+// pin it to the scalar substrates cycle by cycle.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"c2nn/internal/lutmap"
+	"c2nn/internal/nn"
+	"c2nn/internal/simengine"
+)
+
+// backendPrecisions are the substrates under comparison; index 0 is the
+// reference.
+var backendPrecisions = []simengine.Precision{
+	simengine.Float32, simengine.Int32, simengine.BitPacked,
+}
+
+// diffBackends drives identical random stimuli through one engine per
+// substrate for the given number of cycles and fails on the first
+// output bit where any backend disagrees with the float32 reference.
+// Wide ports (>64 bits) are driven with SetInputBits and read with
+// GetOutputBits, so the AES/SHA buses are covered too.
+func diffBackends(t *testing.T, model *Model, cycles, batch int, seed int64) {
+	t.Helper()
+	engines := make([]*Engine, len(backendPrecisions))
+	for i, prec := range backendPrecisions {
+		eng, err := NewEngine(model, EngineOptions{Batch: batch, Workers: 1 + i%2, Precision: prec})
+		if err != nil {
+			t.Fatalf("%v engine: %v", prec, err)
+		}
+		defer eng.Close()
+		engines[i] = eng
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bits := make([]bool, 0, 128)
+	for cyc := 0; cyc < cycles; cyc++ {
+		for _, in := range model.Inputs {
+			w := len(in.Units)
+			if w > 64 {
+				for lane := 0; lane < batch; lane++ {
+					bits = bits[:0]
+					for i := 0; i < w; i++ {
+						bits = append(bits, rng.Intn(2) == 1)
+					}
+					for _, eng := range engines {
+						if err := eng.SetInputBits(in.Name, lane, bits); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				continue
+			}
+			vals := make([]uint64, batch)
+			for b := range vals {
+				v := rng.Uint64()
+				if w < 64 {
+					v &= 1<<uint(w) - 1
+				}
+				vals[b] = v
+			}
+			for _, eng := range engines {
+				if err := eng.SetInput(in.Name, vals); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, eng := range engines {
+			eng.Forward()
+		}
+		for _, out := range model.Outputs {
+			if len(out.Units) > 64 {
+				for lane := 0; lane < batch; lane++ {
+					ref, err := engines[0].GetOutputBits(out.Name, lane)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, eng := range engines[1:] {
+						got, err := eng.GetOutputBits(out.Name, lane)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for bit := range ref {
+							if got[bit] != ref[bit] {
+								t.Fatalf("cycle %d port %s lane %d bit %d: %v disagrees with float32",
+									cyc, out.Name, lane, bit, backendPrecisions[i+1])
+							}
+						}
+					}
+				}
+				continue
+			}
+			ref, err := engines[0].GetOutput(out.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, eng := range engines[1:] {
+				got, err := eng.GetOutput(out.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for lane := range ref {
+					if got[lane] != ref[lane] {
+						t.Fatalf("cycle %d port %s lane %d: %v=%#x float32=%#x",
+							cyc, out.Name, lane, backendPrecisions[i+1], got[lane], ref[lane])
+					}
+				}
+			}
+		}
+		for _, eng := range engines {
+			eng.LatchFeedback()
+		}
+	}
+}
+
+// TestBackendsBitIdenticalOnBenchmarks runs the differential check on
+// every Table I circuit at two LUT sizes. Batch 67 exercises partial
+// packed words (one full uint64 plus a 3-lane tail).
+func TestBackendsBitIdenticalOnBenchmarks(t *testing.T) {
+	ls := []int{4, 7}
+	if testing.Short() {
+		ls = []int{4}
+	}
+	for _, c := range Benchmarks() {
+		for _, l := range ls {
+			t.Run(fmt.Sprintf("%s/L%d", c.Name, l), func(t *testing.T) {
+				model, err := CompileBenchmark(c.Name, Options{L: l})
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffBackends(t, model, 16, 67, int64(l)*1000+7)
+			})
+		}
+	}
+}
+
+// TestBackendsBitIdenticalOnRandomCircuits is the fuzz variant: random
+// netlists (reusing the pipeline property-test generator), random LUT
+// size, merge setting and batch, all substrates in lock-step.
+func TestBackendsBitIdenticalOnRandomCircuits(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < trials; trial++ {
+		nIn := 2 + rng.Intn(10)
+		nGates := 10 + rng.Intn(120)
+		nFFs := rng.Intn(10)
+		k := 2 + rng.Intn(9)
+		merge := rng.Intn(2) == 0
+		batch := []int{1, 5, 64, 67}[rng.Intn(4)]
+
+		nl := randomCircuit(rng, nIn, nGates, nFFs)
+		if _, err := nl.Optimize(); err != nil {
+			t.Fatalf("trial %d: optimize: %v", trial, err)
+		}
+		m, err := lutmap.MapNetlist(nl, lutmap.Options{K: k})
+		if err != nil {
+			t.Fatalf("trial %d (K=%d): map: %v", trial, k, err)
+		}
+		model, err := nn.Build(nl, m, nn.BuildOptions{Merge: merge, L: k})
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		t.Run(fmt.Sprintf("trial%d_K%d_merge%v_batch%d", trial, k, merge, batch), func(t *testing.T) {
+			diffBackends(t, model, 16, batch, int64(trial)*31+5)
+		})
+	}
+}

@@ -235,14 +235,11 @@ func BenchmarkAblationMerge(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationPrecision compares float32 vs int32 kernels (§V).
+// BenchmarkAblationPrecision compares the float32, int32 and
+// bit-packed execution substrates (§V).
 func BenchmarkAblationPrecision(b *testing.B) {
-	for _, prec := range []simengine.Precision{simengine.Float32, simengine.Int32} {
-		name := "float32"
-		if prec == simengine.Int32 {
-			name = "int32"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, prec := range []simengine.Precision{simengine.Float32, simengine.Int32, simengine.BitPacked} {
+		b.Run(prec.String(), func(b *testing.B) {
 			res := getCompiled(b, "UART", 7)
 			eng, err := simengine.New(res.Model, simengine.Options{Batch: 256, Precision: prec})
 			if err != nil {

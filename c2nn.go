@@ -19,8 +19,11 @@
 //	internal/truthtab   packed truth tables
 //	internal/poly       multi-linear polynomials (Algorithm 1 + DNF baseline)
 //	internal/nn         network construction, layer merging, model files
-//	internal/tensor     sparse CSR float32/int32 kernels
-//	internal/simengine  batched multi-goroutine execution engine
+//	internal/tensor     sparse CSR float32/int32 and bit-packed uint64 kernels
+//	internal/exec/plan  model lowering: kernel selection, threshold fusion,
+//	                    activation-arena liveness
+//	internal/exec/backend  float32 / int32 / bit-packed execution substrates
+//	internal/simengine  batched execution engine (facade over plan + backend)
 //	internal/circuits   the six Table I benchmark designs
 //	internal/bench      experiment harness (Table I, Fig. 4, Fig. 6, ablations)
 //	internal/vcd        VCD waveform writer
@@ -50,6 +53,8 @@ type (
 	Engine = simengine.Engine
 	// EngineOptions configures batch size, workers and precision.
 	EngineOptions = simengine.Options
+	// Precision selects the engine's execution substrate.
+	Precision = simengine.Precision
 	// Netlist is the gate-level intermediate representation.
 	Netlist = netlist.Netlist
 	// Circuit is a built-in benchmark design.
@@ -61,6 +66,15 @@ type (
 	Diagnostic = diag.Diagnostic
 	// LintRule describes one registered irlint rule.
 	LintRule = diag.Rule
+)
+
+// Engine precisions: the paper's float32 baseline, exact integer
+// kernels, and the bit-packed substrate carrying 64 stimulus lanes per
+// uint64 word. All three are bit-identical on compiled circuits.
+const (
+	Float32   = simengine.Float32
+	Int32     = simengine.Int32
+	BitPacked = simengine.BitPacked
 )
 
 // Options configures CompileVerilog.

@@ -9,12 +9,15 @@
 //	bench -fig4
 //	bench -fig6
 //	bench -ablations
+//	bench -backends                    # float32 / int32 / bitpacked comparison
+//	bench -json -out BENCH_exec.json   # backend comparison as JSON (CI artifact)
 //	bench -all
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +32,9 @@ func main() {
 		fig4      = flag.Bool("fig4", false, "regenerate Fig. 4 (polynomial generation time)")
 		fig6      = flag.Bool("fig6", false, "regenerate Fig. 6 (UART L sweep)")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		backends  = flag.Bool("backends", false, "compare float32/int32/bitpacked execution backends")
+		jsonOut   = flag.Bool("json", false, "run the backend comparison and emit JSON (implies -backends)")
+		outPath   = flag.String("out", "", "write the -json report to this file instead of stdout")
 		influence = flag.Bool("influence", false, "check the §II-B sensitivity-vs-density hypothesis over the mapped LUTs")
 		all       = flag.Bool("all", false, "run everything")
 		circuitsF = flag.String("circuits", "", "comma-separated circuit names for -table1 (default all)")
@@ -102,6 +108,40 @@ func main() {
 		}
 		fmt.Println("\n=== Ablations ===")
 		fmt.Print(bench.FormatAblations(rows))
+	}
+
+	if *backends || *jsonOut || *all {
+		ran = true
+		cfg := bench.DefaultBackendsConfig()
+		cfg.Batch = *batch
+		cfg.MinMeasure = time.Duration(*minMs) * time.Millisecond
+		var names []string
+		if *circuitsF != "" {
+			for _, s := range strings.Split(*circuitsF, ",") {
+				names = append(names, strings.TrimSpace(s))
+			}
+		}
+		rows, err := bench.RunBackends(names, cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			w := io.Writer(os.Stdout)
+			if *outPath != "" {
+				f, err := os.Create(*outPath)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := bench.WriteBackendsJSON(w, rows); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println("\n=== Execution backends ===")
+			fmt.Print(bench.FormatBackends(rows))
+		}
 	}
 
 	if *influence || *all {

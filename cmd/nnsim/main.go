@@ -22,6 +22,7 @@ import (
 
 	"c2nn/internal/bench"
 	"c2nn/internal/circuits"
+	"c2nn/internal/exec/plan"
 	"c2nn/internal/nn"
 	"c2nn/internal/simengine"
 	"c2nn/internal/testbench"
@@ -37,7 +38,8 @@ func main() {
 		batch     = flag.Int("batch", 256, "stimuli per batch (stimulus parallelism)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (structural parallelism)")
 		verify    = flag.Bool("verify", false, "compare NN outputs against the gate-level simulator")
-		useInt    = flag.Bool("int32", false, "use integer kernels instead of float32")
+		useInt    = flag.Bool("int32", false, "use integer kernels (shorthand for -backend int32)")
+		backendF  = flag.String("backend", "", "execution substrate: float32, int32 or bitpacked (default float32)")
 		seed      = flag.Int64("seed", 1, "stimulus seed")
 		vcdPath   = flag.String("vcd", "", "dump lane-0 port waveforms to this VCD file")
 		tbPath    = flag.String("tb", "", "run a testbench script (set/step/expect directives) instead of random stimuli")
@@ -45,13 +47,36 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*modelPath, *circuit, *lutSize, *cycles, *batch, *workers, *verify, *useInt, *info, *seed, *vcdPath, *tbPath); err != nil {
+	prec, err := pickPrecision(*backendF, *useInt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nnsim:", err)
+		os.Exit(1)
+	}
+	if err := run(*modelPath, *circuit, *lutSize, *cycles, *batch, *workers, *verify, prec, *info, *seed, *vcdPath, *tbPath); err != nil {
 		fmt.Fprintln(os.Stderr, "nnsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath, circuit string, lutSize, cycles, batch, workers int, verify, useInt, info bool, seed int64, vcdPath, tbPath string) error {
+// pickPrecision resolves -backend (with -int32 as legacy shorthand).
+func pickPrecision(name string, useInt bool) (simengine.Precision, error) {
+	switch name {
+	case "":
+		if useInt {
+			return simengine.Int32, nil
+		}
+		return simengine.Float32, nil
+	case "float32":
+		return simengine.Float32, nil
+	case "int32":
+		return simengine.Int32, nil
+	case "bitpacked":
+		return simengine.BitPacked, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want float32, int32 or bitpacked)", name)
+}
+
+func run(modelPath, circuit string, lutSize, cycles, batch, workers int, verify bool, prec simengine.Precision, info bool, seed int64, vcdPath, tbPath string) error {
 	var model *nn.Model
 	var res *bench.CompileResult
 
@@ -99,14 +124,11 @@ func run(modelPath, circuit string, lutSize, cycles, batch, workers int, verify,
 		return nil
 	}
 
-	prec := simengine.Float32
-	if useInt {
-		prec = simengine.Int32
-	}
 	eng, err := simengine.New(model, simengine.Options{Batch: batch, Workers: workers, Precision: prec})
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 
 	if tbPath != "" {
 		src, err := os.ReadFile(tbPath)
@@ -167,11 +189,11 @@ func run(modelPath, circuit string, lutSize, cycles, batch, workers int, verify,
 		if tracer != nil {
 			eng.Forward()
 			for _, out := range model.Outputs {
-				v, err := eng.GetOutput(out.Name)
+				v, err := outputLane0(eng, out.Name, len(out.Units))
 				if err != nil {
 					return err
 				}
-				sample[out.Name] = v[0]
+				sample[out.Name] = v
 			}
 			tracer.Sample(uint64(cyc), sample)
 			eng.LatchFeedback()
@@ -186,32 +208,95 @@ func run(modelPath, circuit string, lutSize, cycles, batch, workers int, verify,
 
 	eng.Forward()
 	for _, out := range model.Outputs {
-		v, err := eng.GetOutput(out.Name)
+		s, err := outputLane0Hex(eng, out.Name, len(out.Units))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %s[lane0] = %#x\n", out.Name, v[0])
+		fmt.Printf("  %s[lane0] = %s\n", out.Name, s)
 	}
 	return nil
 }
 
-// printInfo renders the per-layer structure of a model.
+// outputLane0 reads lane 0 of an output port as a uint64; ports wider
+// than 64 bits (which GetOutput refuses) are read bitwise and truncated
+// to their low 64 bits — the most a VCD sample word can carry.
+func outputLane0(eng *simengine.Engine, name string, width int) (uint64, error) {
+	if width <= 64 {
+		v, err := eng.GetOutput(name)
+		if err != nil {
+			return 0, err
+		}
+		return v[0], nil
+	}
+	bits, err := eng.GetOutputBits(name, 0)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 64 && i < len(bits); i++ {
+		if bits[i] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}
+
+// outputLane0Hex renders lane 0 of an output port at full width.
+func outputLane0Hex(eng *simengine.Engine, name string, width int) (string, error) {
+	if width <= 64 {
+		v, err := eng.GetOutput(name)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%#x", v[0]), nil
+	}
+	bits, err := eng.GetOutputBits(name, 0)
+	if err != nil {
+		return "", err
+	}
+	nibbles := (len(bits) + 3) / 4
+	s := make([]byte, nibbles)
+	for i, b := range bits {
+		if b {
+			s[nibbles-1-i/4] |= 1 << uint(i%4)
+		}
+	}
+	const hexdigits = "0123456789abcdef"
+	for i := range s {
+		s[i] = hexdigits[s[i]]
+	}
+	return "0x" + string(s), nil
+}
+
+// printInfo renders the per-layer structure of a model and its lowered
+// execution plan.
 func printInfo(model *nn.Model) {
 	stats := model.Net.ComputeStats()
 	fmt.Printf("circuit %s, L=%d, merged=%v, %d gates, %d flip-flop feedbacks\n",
 		model.CircuitName, model.L, model.Merged, model.GateCount, len(model.Feedback))
-	fmt.Printf("%d layers, %d neurons, %d connections, mean sparsity %.5f, %.2f MB on disk\n\n",
+	fmt.Printf("%d layers, %d neurons, %d connections, mean sparsity %.5f, %.2f MB on disk\n",
 		stats.Layers, stats.Neurons, stats.Connections, stats.MeanSparsity,
 		float64(model.MemoryBytes())/1e6)
-	fmt.Printf("%-6s %-10s %10s %10s %12s %10s\n", "layer", "kind", "rows", "cols", "nnz", "sparsity")
+	p, perr := plan.Compile(model)
+	if perr == nil {
+		fmt.Printf("execution plan: %d arena rows for %d units (%.1f%% of the flat layout)\n",
+			p.ArenaUnits, model.Net.TotalUnits,
+			100*float64(p.ArenaUnits)/float64(model.Net.TotalUnits))
+	}
+	fmt.Println()
+	fmt.Printf("%-6s %-10s %-15s %10s %10s %12s %10s\n", "layer", "kind", "kernel", "rows", "cols", "nnz", "sparsity")
 	for i := range model.Net.Layers {
 		l := &model.Net.Layers[i]
 		kind := "linear"
 		if l.Threshold {
 			kind = "threshold"
 		}
-		fmt.Printf("%-6d %-10s %10d %10d %12d %10.5f\n",
-			i, kind, l.W.Rows, l.W.Cols, l.W.NNZ(), l.W.Sparsity())
+		kernel := "-"
+		if perr == nil {
+			kernel = p.Layers[i].Kernel.String()
+		}
+		fmt.Printf("%-6d %-10s %-15s %10d %10d %12d %10.5f\n",
+			i, kind, kernel, l.W.Rows, l.W.Cols, l.W.NNZ(), l.W.Sparsity())
 	}
 	fmt.Printf("\ninputs:")
 	for _, p := range model.Inputs {

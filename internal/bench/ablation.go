@@ -93,13 +93,19 @@ func RunAblations(cfg AblationConfig, progress io.Writer) ([]AblationRow, error)
 	add("throughput merged vs unmerged (g*c/s)", "%.3g vs %.3g (x%.2f)",
 		mGCS, uGCS, mGCS/uGCS)
 
-	// --- Float32 vs Int32 kernels (§V) ---------------------------------
+	// --- Float32 vs Int32 vs BitPacked kernels (§V) --------------------
 	iGCS, err := NNThroughput(merged, stim, cfg.Batch, 0, simengine.Int32, cfg.MinMeasure)
 	if err != nil {
 		return nil, err
 	}
 	add("throughput float32 vs int32 (g*c/s)", "%.3g vs %.3g (int is x%.2f)",
 		mGCS, iGCS, iGCS/mGCS)
+	bpGCS, err := NNThroughput(merged, stim, cfg.Batch, 0, simengine.BitPacked, cfg.MinMeasure)
+	if err != nil {
+		return nil, err
+	}
+	add("throughput float32 vs bitpacked (g*c/s)", "%.3g vs %.3g (packed is x%.2f)",
+		mGCS, bpGCS, bpGCS/mGCS)
 
 	// --- Sparse vs dense matmul on the largest layer (§III-F) ----------
 	var big *tensor.CSR

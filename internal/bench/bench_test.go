@@ -102,7 +102,11 @@ func TestRunFig4Small(t *testing.T) {
 			l8 = r
 		}
 	}
-	if !l8.DNFValid || l8.DNFTime < l8.Alg1Time {
+	if !l8.DNFValid {
+		t.Error("DNF should be measured at L=8")
+	} else if raceEnabled {
+		t.Log("race detector active: skipping Alg1-vs-DNF timing comparison")
+	} else if l8.DNFTime < l8.Alg1Time {
 		t.Errorf("at L=8 DNF (%v) should exceed Alg1 (%v)", l8.DNFTime, l8.Alg1Time)
 	}
 	if out := FormatFig4(rows); !strings.Contains(out, "Alg1") {

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Its
+// per-access instrumentation distorts µs-scale timing comparisons, so
+// timing-shape assertions in tests are skipped under it.
+const raceEnabled = true

@@ -22,8 +22,9 @@ type Table1Row struct {
 	ConnectionsM  float64 // neurons' connections, millions
 	Layers        int
 	MeanSparsity  float64
-	NNGCS         float64 // NN engine throughput, gates*cycles/s
-	Speedup       float64
+	NNGCS         float64 // NN engine throughput (float32), gates*cycles/s
+	BitPackedGCS  float64 // bit-packed backend throughput, gates*cycles/s
+	Speedup       float64 // float32 vs gate-level baseline
 	VerifiedEquiv bool
 }
 
@@ -113,12 +114,17 @@ func RunTable1(names []string, cfg Table1Config, progress io.Writer) ([]Table1Ro
 				return nil, err
 			}
 			row.NNGCS = gcs
+			bpGCS, err := NNThroughput(res, stim, cfg.Batch, cfg.Workers, simengine.BitPacked, cfg.MinMeasure)
+			if err != nil {
+				return nil, err
+			}
+			row.BitPackedGCS = bpGCS
 			if baseline > 0 {
 				row.Speedup = gcs / baseline
 			}
-			logf("[%s] L=%-2d gen=%-8s layers=%-3d conn=%.2fM sparsity=%.5f NN=%.3g speedup=%.1fx",
+			logf("[%s] L=%-2d gen=%-8s layers=%-3d conn=%.2fM sparsity=%.5f NN=%.3g bp=%.3g speedup=%.1fx",
 				c.Name, l, row.GenTime.Round(time.Millisecond), row.Layers,
-				row.ConnectionsM, row.MeanSparsity, row.NNGCS, row.Speedup)
+				row.ConnectionsM, row.MeanSparsity, row.NNGCS, row.BitPackedGCS, row.Speedup)
 			rows = append(rows, row)
 		}
 	}
@@ -128,11 +134,11 @@ func RunTable1(names []string, cfg Table1Config, progress io.Writer) ([]Table1Ro
 // FormatTable1 renders rows in the layout of the paper's Table I.
 func FormatTable1(rows []Table1Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %6s %8s %12s | %3s %10s %9s %8s %7s %9s | %12s %9s %s\n",
+	fmt.Fprintf(&b, "%-18s %6s %8s %12s | %3s %10s %9s %8s %7s %9s | %12s %12s %9s %s\n",
 		"Circuit", "LoC", "Gates", "Base(g*c/s)",
 		"L", "GenTime", "Mem(MB)", "Conn(M)", "Layers", "Sparsity",
-		"NN(g*c/s)", "Speedup", "Equiv")
-	b.WriteString(strings.Repeat("-", 140) + "\n")
+		"NN(g*c/s)", "BP(g*c/s)", "Speedup", "Equiv")
+	b.WriteString(strings.Repeat("-", 153) + "\n")
 	prev := ""
 	for _, r := range rows {
 		name, loc, gates, base := r.Circuit, fmt.Sprint(r.LoC), fmt.Sprint(r.Gates), fmt.Sprintf("%.2E", r.BaselineGCS)
@@ -144,10 +150,10 @@ func FormatTable1(rows []Table1Row) string {
 		if r.VerifiedEquiv {
 			eq = "yes"
 		}
-		fmt.Fprintf(&b, "%-18s %6s %8s %12s | %3d %10s %9.2f %8.2f %7d %9.5f | %12.2E %9.2f %s\n",
+		fmt.Fprintf(&b, "%-18s %6s %8s %12s | %3d %10s %9.2f %8.2f %7d %9.5f | %12.2E %12.2E %9.2f %s\n",
 			name, loc, gates, base,
 			r.L, r.GenTime.Round(time.Millisecond), r.MemoryMB, r.ConnectionsM,
-			r.Layers, r.MeanSparsity, r.NNGCS, r.Speedup, eq)
+			r.Layers, r.MeanSparsity, r.NNGCS, r.BitPackedGCS, r.Speedup, eq)
 	}
 	return b.String()
 }

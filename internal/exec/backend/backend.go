@@ -1,0 +1,93 @@
+// Package backend holds the execution substrates of the plan / kernel /
+// backend split: given a lowered plan (internal/exec/plan) and a batch
+// size, a Backend owns the activation arena in its native element type
+// and runs the plan's layers with fused kernels. Three substrates are
+// provided — float32 (the paper's SpMM formulation), int32 (exact
+// integer arithmetic), and bit-packed uint64 (64 stimulus lanes per
+// word, thresholds by bit-sliced plane arithmetic). All three are
+// bit-identical on compiled circuits, which the differential tests
+// enforce.
+//
+// The arena is addressed in plan slot space: row r of the arena holds
+// the activation of every unit the plan mapped to slot r, batch lanes
+// side by side. internal/simengine translates port and feedback unit
+// numbers through plan.Slot before touching a backend.
+package backend
+
+import (
+	"fmt"
+
+	"c2nn/internal/exec/plan"
+)
+
+// Kind selects an execution substrate.
+type Kind uint8
+
+// Substrates.
+const (
+	// Float32 runs fused float32 kernels, the paper's native SpMM
+	// formulation (one float per activation lane).
+	Float32 Kind = iota
+	// Int32 runs exact integer kernels with fused integer thresholds.
+	Int32
+	// BitPacked packs 64 stimulus lanes into each uint64 word and
+	// evaluates thresholds with bit-sliced plane arithmetic.
+	BitPacked
+)
+
+// String names the substrate.
+func (k Kind) String() string {
+	switch k {
+	case Float32:
+		return "float32"
+	case Int32:
+		return "int32"
+	case BitPacked:
+		return "bitpacked"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Kinds returns all substrates in declaration order.
+func Kinds() []Kind { return []Kind{Float32, Int32, BitPacked} }
+
+// Backend is one execution substrate over a plan's activation arena.
+// Activations are binary (a compiled network invariant), so the lane
+// accessors speak bool regardless of the native element type.
+type Backend interface {
+	// Kind identifies the substrate.
+	Kind() Kind
+	// Batch returns the number of stimulus lanes.
+	Batch() int
+	// Forward runs every layer of the plan over the current arena.
+	Forward()
+	// Set writes one activation lane of an arena row.
+	Set(slot int32, lane int, v bool)
+	// Get reads one activation lane of an arena row.
+	Get(slot int32, lane int) bool
+	// SetUniform writes every lane of an arena row.
+	SetUniform(slot int32, v bool)
+	// Copy copies a whole arena row (all lanes), dst ← src.
+	Copy(dst, src int32)
+	// Zero clears the whole arena.
+	Zero()
+	// MemoryBytes reports the arena size in bytes.
+	MemoryBytes() int64
+}
+
+// New builds a backend of the given kind over the plan. The pool may be
+// nil or single-worker, in which case layers run inline.
+func New(k Kind, p *plan.Plan, batch int, pool *Pool) (Backend, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("backend: batch must be >= 1, got %d", batch)
+	}
+	switch k {
+	case Float32:
+		return newFloat32(p, batch, pool), nil
+	case Int32:
+		return newInt32(p, batch, pool), nil
+	case BitPacked:
+		return newBitPacked(p, batch, pool)
+	}
+	return nil, fmt.Errorf("backend: unknown kind %d", uint8(k))
+}

@@ -1,0 +1,94 @@
+package backend
+
+import (
+	"fmt"
+
+	"c2nn/internal/exec/plan"
+	"c2nn/internal/tensor"
+)
+
+// bpBackend is the bit-packed substrate: every activation is one bit,
+// 64 stimulus lanes share a uint64 word, and threshold rows evaluate by
+// bit-sliced plane arithmetic (tensor.PackedThreshRange). Lanes beyond
+// the batch in the last word carry garbage; the lane accessors never
+// expose them and the per-lane plane arithmetic keeps them from
+// contaminating real lanes.
+type bpBackend struct {
+	plan  *plan.Plan
+	batch int
+	words int
+	pool  *Pool
+	acts  []uint64 // ArenaUnits × words, neuron-major
+}
+
+func newBitPacked(p *plan.Plan, batch int, pool *Pool) (*bpBackend, error) {
+	for li := range p.Layers {
+		l := &p.Layers[li]
+		if l.MaxPos >= 1<<tensor.MaxPlanes || l.MaxNeg >= 1<<tensor.MaxPlanes {
+			return nil, fmt.Errorf("backend: layer %d row sums exceed the 2^%d bit-sliced accumulator",
+				li, tensor.MaxPlanes)
+		}
+	}
+	words := tensor.PackedWords(batch)
+	return &bpBackend{plan: p, batch: batch, words: words, pool: pool,
+		acts: make([]uint64, p.ArenaUnits*words)}, nil
+}
+
+func (e *bpBackend) Kind() Kind { return BitPacked }
+func (e *bpBackend) Batch() int { return e.batch }
+
+func (e *bpBackend) Forward() {
+	words := e.words
+	for li := range e.plan.Layers {
+		l := &e.plan.Layers[li]
+		w := l.WInt
+		out := e.acts[int(l.OutSlot)*words:]
+		if l.Kernel == plan.KernelLinear {
+			e.pool.Run(w.Rows, func(lo, hi int) {
+				w.PackedLinearRange(e.acts, words, out, lo, hi)
+			})
+		} else {
+			e.pool.Run(w.Rows, func(lo, hi int) {
+				w.PackedThreshRange(e.acts, words, l.Thresh, out, lo, hi)
+			})
+		}
+	}
+}
+
+func (e *bpBackend) Set(slot int32, lane int, v bool) {
+	w := &e.acts[int(slot)*e.words+lane/64]
+	bit := uint64(1) << uint(lane%64)
+	if v {
+		*w |= bit
+	} else {
+		*w &^= bit
+	}
+}
+
+func (e *bpBackend) Get(slot int32, lane int) bool {
+	return e.acts[int(slot)*e.words+lane/64]>>uint(lane%64)&1 == 1
+}
+
+func (e *bpBackend) SetUniform(slot int32, v bool) {
+	row := e.acts[int(slot)*e.words : (int(slot)+1)*e.words]
+	var w uint64
+	if v {
+		w = ^uint64(0)
+	}
+	for i := range row {
+		row[i] = w
+	}
+}
+
+func (e *bpBackend) Copy(dst, src int32) {
+	copy(e.acts[int(dst)*e.words:(int(dst)+1)*e.words],
+		e.acts[int(src)*e.words:(int(src)+1)*e.words])
+}
+
+func (e *bpBackend) Zero() {
+	for i := range e.acts {
+		e.acts[i] = 0
+	}
+}
+
+func (e *bpBackend) MemoryBytes() int64 { return int64(len(e.acts)) * 8 }

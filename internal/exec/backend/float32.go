@@ -1,0 +1,98 @@
+package backend
+
+import (
+	"c2nn/internal/exec/plan"
+)
+
+// f32Backend is the float32 substrate: one float per activation lane,
+// fused SpMM + threshold kernels. It reproduces the arithmetic of the
+// paper's formulation (and of the original engine) exactly.
+type f32Backend struct {
+	plan  *plan.Plan
+	batch int
+	pool  *Pool
+	acts  []float32 // ArenaUnits × batch, neuron-major
+}
+
+func newFloat32(p *plan.Plan, batch int, pool *Pool) *f32Backend {
+	return &f32Backend{plan: p, batch: batch, pool: pool,
+		acts: make([]float32, p.ArenaUnits*batch)}
+}
+
+func (e *f32Backend) Kind() Kind { return Float32 }
+func (e *f32Backend) Batch() int { return e.batch }
+
+func (e *f32Backend) Forward() {
+	b := e.batch
+	for li := range e.plan.Layers {
+		l := &e.plan.Layers[li]
+		w := l.W
+		out := e.acts[int(l.OutSlot)*b:]
+		e.pool.Run(w.Rows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				o := out[r*b : r*b+b]
+				for i := range o {
+					o[i] = 0
+				}
+				for p := w.RowPtr[r]; p < w.RowPtr[r+1]; p++ {
+					x := e.acts[int(w.Col[p])*b : int(w.Col[p])*b+b]
+					if v := w.Val[p]; v == 1 {
+						for i, xv := range x {
+							o[i] += xv
+						}
+					} else {
+						for i, xv := range x {
+							o[i] += v * xv
+						}
+					}
+				}
+				if l.Kernel != plan.KernelLinear {
+					bias := l.Bias[r]
+					for i := range o {
+						if o[i] > bias {
+							o[i] = 1
+						} else {
+							o[i] = 0
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func (e *f32Backend) Set(slot int32, lane int, v bool) {
+	e.acts[int(slot)*e.batch+lane] = b2f(v)
+}
+
+func (e *f32Backend) Get(slot int32, lane int) bool {
+	return e.acts[int(slot)*e.batch+lane] != 0
+}
+
+func (e *f32Backend) SetUniform(slot int32, v bool) {
+	row := e.acts[int(slot)*e.batch : (int(slot)+1)*e.batch]
+	f := b2f(v)
+	for i := range row {
+		row[i] = f
+	}
+}
+
+func (e *f32Backend) Copy(dst, src int32) {
+	copy(e.acts[int(dst)*e.batch:(int(dst)+1)*e.batch],
+		e.acts[int(src)*e.batch:(int(src)+1)*e.batch])
+}
+
+func (e *f32Backend) Zero() {
+	for i := range e.acts {
+		e.acts[i] = 0
+	}
+}
+
+func (e *f32Backend) MemoryBytes() int64 { return int64(len(e.acts)) * 4 }
+
+func b2f(v bool) float32 {
+	if v {
+		return 1
+	}
+	return 0
+}

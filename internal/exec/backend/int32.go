@@ -1,0 +1,98 @@
+package backend
+
+import (
+	"c2nn/internal/exec/plan"
+)
+
+// i32Backend is the exact-integer substrate: int32 lanes, integer
+// weight mirror, fused integer thresholds. Free of rounding concerns by
+// construction — the reference the other substrates are compared to.
+type i32Backend struct {
+	plan  *plan.Plan
+	batch int
+	pool  *Pool
+	acts  []int32 // ArenaUnits × batch, neuron-major
+}
+
+func newInt32(p *plan.Plan, batch int, pool *Pool) *i32Backend {
+	return &i32Backend{plan: p, batch: batch, pool: pool,
+		acts: make([]int32, p.ArenaUnits*batch)}
+}
+
+func (e *i32Backend) Kind() Kind { return Int32 }
+func (e *i32Backend) Batch() int { return e.batch }
+
+func (e *i32Backend) Forward() {
+	b := e.batch
+	for li := range e.plan.Layers {
+		l := &e.plan.Layers[li]
+		w := l.WInt
+		out := e.acts[int(l.OutSlot)*b:]
+		e.pool.Run(w.Rows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				o := out[r*b : r*b+b]
+				for i := range o {
+					o[i] = 0
+				}
+				for p := w.RowPtr[r]; p < w.RowPtr[r+1]; p++ {
+					x := e.acts[int(w.Col[p])*b : int(w.Col[p])*b+b]
+					if v := w.Val[p]; v == 1 {
+						for i, xv := range x {
+							o[i] += xv
+						}
+					} else {
+						for i, xv := range x {
+							o[i] += v * xv
+						}
+					}
+				}
+				if l.Kernel != plan.KernelLinear {
+					th := l.Thresh[r]
+					for i := range o {
+						if o[i] > th {
+							o[i] = 1
+						} else {
+							o[i] = 0
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func (e *i32Backend) Set(slot int32, lane int, v bool) {
+	e.acts[int(slot)*e.batch+lane] = b2i32(v)
+}
+
+func (e *i32Backend) Get(slot int32, lane int) bool {
+	return e.acts[int(slot)*e.batch+lane] != 0
+}
+
+func (e *i32Backend) SetUniform(slot int32, v bool) {
+	row := e.acts[int(slot)*e.batch : (int(slot)+1)*e.batch]
+	iv := b2i32(v)
+	for i := range row {
+		row[i] = iv
+	}
+}
+
+func (e *i32Backend) Copy(dst, src int32) {
+	copy(e.acts[int(dst)*e.batch:(int(dst)+1)*e.batch],
+		e.acts[int(src)*e.batch:(int(src)+1)*e.batch])
+}
+
+func (e *i32Backend) Zero() {
+	for i := range e.acts {
+		e.acts[i] = 0
+	}
+}
+
+func (e *i32Backend) MemoryBytes() int64 { return int64(len(e.acts)) * 4 }
+
+func b2i32(v bool) int32 {
+	if v {
+		return 1
+	}
+	return 0
+}

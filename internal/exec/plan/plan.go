@@ -1,0 +1,334 @@
+// Package plan lowers a compiled neural-network model (internal/nn)
+// into an executable plan: the middle layer of the plan / kernel /
+// backend split of the execution engine. Where nn.Model describes the
+// network (what to compute), a Plan fixes how it is computed:
+//
+//   - kernel selection — each layer is classified as exact-linear,
+//     general threshold, or unit-weight threshold (every weight +1, the
+//     Fig. 2 term-neuron shape), so backends can skip the multiply on
+//     the common case;
+//   - threshold fusion — the float bias vector of each threshold layer
+//     is folded into an integer threshold (all weights and biases of a
+//     compiled circuit are exact integers), so a row fires iff its
+//     integer sum exceeds Thresh[r], with no float compare needed;
+//   - activation liveness + arena allocation — a layer's activation
+//     block is only needed until its last reader, so blocks are placed
+//     in a shared arena with first-fit reuse instead of one flat
+//     TotalUnits×Batch slab; column indices are rewritten from unit
+//     space into arena-slot space so kernels index the arena directly;
+//   - integer weight mirror — every layer carries an int32 copy of its
+//     weights for the integer and bit-packed backends.
+//
+// The plan is backend-agnostic: internal/exec/backend holds the
+// float32, int32 and bit-packed uint64 implementations, and
+// internal/simengine is the facade that ties plan, backend and the
+// model's port metadata together.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"c2nn/internal/nn"
+	"c2nn/internal/tensor"
+)
+
+// Kernel classifies how a layer is executed.
+type Kernel uint8
+
+// Kernels.
+const (
+	// KernelLinear is the exact linear product (no threshold); the
+	// network invariant guarantees binary outputs.
+	KernelLinear Kernel = iota
+	// KernelThreshold is the general fused product-and-compare:
+	// out[r] = Σ w·a > Thresh[r].
+	KernelThreshold
+	// KernelUnitThreshold is KernelThreshold specialised to all-ones
+	// weights: the sum is a population count over active inputs.
+	KernelUnitThreshold
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelLinear:
+		return "linear"
+	case KernelThreshold:
+		return "threshold"
+	case KernelUnitThreshold:
+		return "unit-threshold"
+	}
+	return fmt.Sprintf("kernel(%d)", uint8(k))
+}
+
+// Layer is one lowered layer of the plan.
+type Layer struct {
+	// Kernel selects the execution strategy.
+	Kernel Kernel
+	// W is the layer matrix with columns rewritten into arena slots
+	// (RowPtr and Val are shared with the model's matrix).
+	W *tensor.CSR
+	// WInt mirrors W with int32 weights for the integer and bit-packed
+	// backends (structure shared with W).
+	WInt *tensor.Int32CSR
+	// Bias is the model's float bias vector (threshold kernels only).
+	Bias []float32
+	// Thresh is the fused integer threshold: row r fires iff its
+	// integer sum strictly exceeds Thresh[r]. Nil for KernelLinear.
+	Thresh []int32
+	// OutSlot is the first arena slot of this layer's output block;
+	// the block spans W.Rows consecutive slots.
+	OutSlot int32
+	// MaxPos and MaxNeg bound the positive and negative per-lane
+	// accumulators of any row (weights plus folded threshold); the
+	// bit-packed backend sizes its plane stacks from them.
+	MaxPos, MaxNeg int64
+}
+
+// Plan is a lowered, executable form of a model's network.
+type Plan struct {
+	// Model is the source model (ports and feedback still reference
+	// unit space; translate through Slot).
+	Model *nn.Model
+	// ArenaUnits is the number of activation rows a backend must
+	// allocate — at most Net.TotalUnits, less when liveness analysis
+	// finds reusable blocks.
+	ArenaUnits int
+	// Slot maps every network unit to its arena row. Two units may
+	// share a slot only when their live ranges are disjoint.
+	Slot []int32
+	// Layers are the lowered layers, in execution order.
+	Layers []Layer
+}
+
+// Compile lowers a model into an execution plan. It fails on networks
+// whose weights or biases are not exact integers (compiled circuits
+// always are) or whose row sums could overflow the bit-sliced
+// accumulator capacity.
+func Compile(m *nn.Model) (*Plan, error) {
+	net := m.Net
+	nLayers := len(net.Layers)
+	if len(net.SegStart) != nLayers {
+		return nil, fmt.Errorf("plan: %d segment starts for %d layers", len(net.SegStart), nLayers)
+	}
+	piUnits := 1 + net.NumPIs
+
+	// segOf finds the producing segment of a unit: -1 for the
+	// const+PI block, otherwise the layer index.
+	segOf := func(unit int32) int {
+		if int(unit) < piUnits {
+			return -1
+		}
+		lo, hi := 0, nLayers // invariant: SegStart[lo] <= unit < SegStart[hi]
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if net.SegStart[mid] <= unit {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	// Liveness in unit space: lastUse[s] is the last layer reading
+	// segment s (its own index when never read, so it dies at once);
+	// segments holding port or feedback endpoints are permanent.
+	lastUse := make([]int, nLayers)
+	for s := range lastUse {
+		lastUse[s] = s
+	}
+	for li := range net.Layers {
+		for _, col := range net.Layers[li].W.Col {
+			if s := segOf(col); s >= 0 && li > lastUse[s] {
+				lastUse[s] = li
+			}
+		}
+	}
+	permanent := make([]bool, nLayers)
+	pin := func(unit int32) {
+		if s := segOf(unit); s >= 0 {
+			permanent[s] = true
+		}
+	}
+	for _, p := range m.Outputs {
+		for _, u := range p.Units {
+			pin(u)
+		}
+	}
+	for _, p := range m.Inputs {
+		for _, u := range p.Units {
+			pin(u) // inputs live in the PI block, but stay safe on odd models
+		}
+	}
+	for _, fb := range m.Feedback {
+		pin(fb.FromUnit)
+		pin(fb.ToPI)
+	}
+
+	// Arena allocation: the const+PI block is permanent at offset 0;
+	// layer blocks are placed first-fit, releasing dead blocks before
+	// each allocation.
+	slot := make([]int32, net.TotalUnits)
+	for u := 0; u < piUnits && u < net.TotalUnits; u++ {
+		slot[u] = int32(u)
+	}
+	a := &arena{top: int32(piUnits)}
+	freeAt := make([][]int, nLayers+1)
+	for s, last := range lastUse {
+		if !permanent[s] {
+			freeAt[last+1] = append(freeAt[last+1], s)
+		}
+	}
+	outSlot := make([]int32, nLayers)
+	for li := range net.Layers {
+		for _, s := range freeAt[li] {
+			a.release(outSlot[s], int32(net.Layers[s].W.Rows))
+		}
+		rows := net.Layers[li].W.Rows
+		outSlot[li] = a.alloc(int32(rows))
+		seg := int(net.SegStart[li])
+		for r := 0; r < rows; r++ {
+			slot[seg+r] = outSlot[li] + int32(r)
+		}
+	}
+
+	p := &Plan{Model: m, ArenaUnits: int(a.top), Slot: slot}
+	for li := range net.Layers {
+		l := &net.Layers[li]
+		pl, err := lowerLayer(l, li, slot, int(a.top), outSlot[li])
+		if err != nil {
+			return nil, err
+		}
+		p.Layers = append(p.Layers, pl)
+	}
+	return p, nil
+}
+
+// lowerLayer rewrites one layer's columns into slot space, selects its
+// kernel, fuses the threshold and builds the integer mirror.
+func lowerLayer(l *nn.Layer, li int, slot []int32, arenaUnits int, out int32) (Layer, error) {
+	w := l.W
+	cols := make([]int32, len(w.Col))
+	vals := make([]int32, len(w.Val))
+	unit := true
+	for i, c := range w.Col {
+		cols[i] = slot[c]
+	}
+	for i, v := range w.Val {
+		iv := int32(v)
+		if float32(iv) != v {
+			return Layer{}, fmt.Errorf("plan: layer %d weight entry %d is non-integral (%v)", li, i, v)
+		}
+		vals[i] = iv
+		if iv != 1 {
+			unit = false
+		}
+	}
+	pl := Layer{
+		W:       &tensor.CSR{Rows: w.Rows, Cols: arenaUnits, RowPtr: w.RowPtr, Col: cols, Val: w.Val},
+		WInt:    &tensor.Int32CSR{Rows: w.Rows, Cols: arenaUnits, RowPtr: w.RowPtr, Col: cols, Val: vals},
+		OutSlot: out,
+	}
+	if !l.Threshold {
+		pl.Kernel = KernelLinear
+	} else {
+		pl.Kernel = KernelThreshold
+		if unit {
+			pl.Kernel = KernelUnitThreshold
+		}
+		pl.Bias = l.Bias
+		pl.Thresh = make([]int32, len(l.Bias))
+		for r, b := range l.Bias {
+			f := math.Floor(float64(b))
+			if f < math.MinInt32 || f > math.MaxInt32 {
+				return Layer{}, fmt.Errorf("plan: layer %d bias %d out of integer range (%v)", li, r, b)
+			}
+			pl.Thresh[r] = int32(f)
+		}
+	}
+
+	// Accumulator bounds per row: positive and negative weight sums
+	// plus the side the folded threshold lands on.
+	for r := 0; r < w.Rows; r++ {
+		var pos, neg int64
+		for p := w.RowPtr[r]; p < w.RowPtr[r+1]; p++ {
+			if v := int64(vals[p]); v >= 0 {
+				pos += v
+			} else {
+				neg -= v
+			}
+		}
+		if pl.Thresh != nil {
+			if th := int64(pl.Thresh[r]); th >= 0 {
+				neg += th
+			} else {
+				pos -= th
+			}
+		}
+		if pos > pl.MaxPos {
+			pl.MaxPos = pos
+		}
+		if neg > pl.MaxNeg {
+			pl.MaxNeg = neg
+		}
+	}
+	if pl.MaxPos >= 1<<tensor.MaxPlanes || pl.MaxNeg >= 1<<tensor.MaxPlanes {
+		return Layer{}, fmt.Errorf("plan: layer %d row sums exceed 2^%d accumulator capacity", li, tensor.MaxPlanes)
+	}
+	return pl, nil
+}
+
+// blockRange is one free arena extent.
+type blockRange struct{ start, size int32 }
+
+// arena is a first-fit block allocator over activation rows with
+// coalescing release, tracking the high-water mark.
+type arena struct {
+	top  int32
+	free []blockRange
+}
+
+func (a *arena) alloc(size int32) int32 {
+	if size == 0 {
+		return a.top
+	}
+	for i := range a.free {
+		b := &a.free[i]
+		if b.size >= size {
+			start := b.start
+			b.start += size
+			b.size -= size
+			if b.size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return start
+		}
+	}
+	start := a.top
+	a.top += size
+	return start
+}
+
+func (a *arena) release(start, size int32) {
+	if size == 0 {
+		return
+	}
+	// Insert sorted by start, then coalesce neighbours.
+	i := 0
+	for i < len(a.free) && a.free[i].start < start {
+		i++
+	}
+	a.free = append(a.free, blockRange{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = blockRange{start, size}
+	if i+1 < len(a.free) && a.free[i].start+a.free[i].size == a.free[i+1].start {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].start+a.free[i-1].size == a.free[i].start {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}

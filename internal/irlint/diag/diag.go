@@ -73,16 +73,18 @@ const (
 	StageLUT     Stage = "lut"     // K-LUT computation graph
 	StagePoly    Stage = "poly"    // multi-linear polynomials
 	StageNN      Stage = "nn"      // threshold neural network
+	StagePlan    Stage = "plan"    // lowered execution plan
 )
 
 // stageOrder gives the pipeline position of each stage for sorting.
 var stageOrder = map[Stage]int{
 	StageAST: 0, StageNetlist: 1, StageAIG: 2, StageLUT: 3, StagePoly: 4, StageNN: 5,
+	StagePlan: 6,
 }
 
 // Stages returns all stages in pipeline order.
 func Stages() []Stage {
-	return []Stage{StageAST, StageNetlist, StageAIG, StageLUT, StagePoly, StageNN}
+	return []Stage{StageAST, StageNetlist, StageAIG, StageLUT, StagePoly, StageNN, StagePlan}
 }
 
 // Diagnostic is one rule violation found by the verifier.

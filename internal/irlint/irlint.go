@@ -1,8 +1,9 @@
 // Package irlint is the cross-stage IR verifier: a static-analysis
 // pass over every intermediate representation of the compilation
 // pipeline — Verilog AST, bit-blasted netlist, and-inverter graph, LUT
-// computation graph, multi-linear polynomials and the final threshold
-// network — with collect-all-violations semantics.
+// computation graph, multi-linear polynomials, the threshold network
+// and its lowered execution plan — with collect-all-violations
+// semantics.
 //
 // The rule implementations live next to the IRs they inspect (each IR
 // package has a lint.go declaring its rules against the registry in
@@ -17,6 +18,7 @@ import (
 	"fmt"
 
 	"c2nn/internal/aig"
+	"c2nn/internal/exec/plan"
 	"c2nn/internal/irlint/diag"
 	"c2nn/internal/lutmap"
 	"c2nn/internal/netlist"
@@ -85,6 +87,19 @@ func Model(m *nn.Model) *diag.Report {
 	r := &diag.Report{}
 	r.Add(m.Lint()...)
 	return r
+}
+
+// Plan lowers the model to an execution plan and lints it — the final
+// stage boundary, verifying kernel selection, threshold fusion and the
+// activation-arena liveness analysis against the model.
+func Plan(m *nn.Model) (*diag.Report, error) {
+	p, err := plan.Compile(m)
+	if err != nil {
+		return nil, fmt.Errorf("irlint: lowering to plan: %w", err)
+	}
+	r := &diag.Report{}
+	r.Add(p.Lint()...)
+	return r, nil
 }
 
 // Options configures the pipeline check. The zero value means L = 7,
@@ -161,6 +176,16 @@ func Check(nl *netlist.Netlist, opts Options) (*nn.Model, *diag.Report, error) {
 		return nil, report, fmt.Errorf("irlint: building network: %w", err)
 	}
 	report.Add(Model(model).Diags...)
+	if report.HasErrors() {
+		report.Sort()
+		return nil, report, nil
+	}
+
+	planReport, err := Plan(model)
+	if err != nil {
+		return nil, report, err
+	}
+	report.Add(planReport.Diags...)
 	report.Sort()
 	if report.HasErrors() {
 		return nil, report, nil

@@ -5,43 +5,71 @@
 //   - stimulus parallelism: a batch of B independent test vectors flows
 //     through every layer together (one SpMM instead of B SpMVs);
 //   - structural parallelism: each sparse layer product is partitioned
-//     row-wise across worker goroutines.
+//     row-wise across a persistent worker pool.
 //
-// Setting Batch=1, Workers=1 gives the sequential "CPU" curve of
-// Fig. 6 (bottom); large Batch with many workers is the "GPU" analogue
-// (Fig. 6 top and the Table I throughput column).
-//
-// The Float32 precision path mirrors the paper's float32 PyTorch
-// implementation (§III-E); the Int32 path implements the integer-kernel
-// improvement proposed in §V's future work.
+// The package is the thin facade of the plan / kernel / backend split:
+// models are lowered once by internal/exec/plan (kernel selection,
+// threshold fusion, activation-arena liveness), and the forward pass
+// runs on an internal/exec/backend substrate — Float32 (the paper's
+// float32 PyTorch analogue, §III-E), Int32 (the integer kernels of
+// §V's future work), or BitPacked (64 stimulus lanes per uint64 word,
+// thresholds by bit-sliced plane arithmetic). The facade owns the port
+// and feedback bookkeeping, translating unit numbers through the plan's
+// slot map.
 package simengine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
+	"c2nn/internal/exec/backend"
+	"c2nn/internal/exec/plan"
 	"c2nn/internal/nn"
-	"c2nn/internal/tensor"
 )
 
-// Precision selects the arithmetic of the forward pass.
+// Precision selects the execution substrate of the forward pass.
 type Precision int
 
 // Precisions.
 const (
+	// Float32 runs float32 kernels, the paper's baseline arithmetic.
 	Float32 Precision = iota
+	// Int32 runs exact integer kernels.
 	Int32
+	// BitPacked packs 64 stimulus lanes per uint64 word and evaluates
+	// thresholds with bit-sliced boolean arithmetic.
+	BitPacked
 )
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case Float32:
+		return "float32"
+	case Int32:
+		return "int32"
+	case BitPacked:
+		return "bitpacked"
+	}
+	return fmt.Sprintf("precision(%d)", int(p))
+}
+
+// ErrWidePort is wrapped by GetOutput when a port is wider than the 64
+// bits a uint64 lane can carry; read such ports with GetOutputBits.
+var ErrWidePort = errors.New("port wider than 64 bits, use GetOutputBits")
 
 // Options configures an engine.
 type Options struct {
 	// Batch is the number of stimuli evaluated per pass (default 1).
 	Batch int
-	// Workers is the goroutine count for row-parallel layer products
-	// (default GOMAXPROCS; 1 disables structural parallelism).
+	// Workers is the width of the persistent worker pool for
+	// row-parallel layer products (default GOMAXPROCS; 1 keeps
+	// execution inline).
 	Workers int
-	// Precision selects float32 (paper baseline) or int32 kernels.
+	// Precision selects the execution substrate.
 	Precision Precision
 }
 
@@ -49,16 +77,18 @@ type Options struct {
 // flip-flop state per batch lane.
 type Engine struct {
 	model   *nn.Model
+	plan    *plan.Plan
+	be      backend.Backend
+	pool    *backend.Pool
 	batch   int
 	workers int
 	prec    Precision
-
-	actsF []float32
-	actsI []int32
-	intW  []*tensor.Int32CSR
+	close   sync.Once
 }
 
-// New creates an engine for the model.
+// New creates an engine for the model: the model is lowered to an
+// execution plan and a backend of the requested precision is allocated
+// over the plan's activation arena.
 func New(model *nn.Model, opts Options) (*Engine, error) {
 	if opts.Batch <= 0 {
 		opts.Batch = 1
@@ -66,27 +96,49 @@ func New(model *nn.Model, opts Options) (*Engine, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	var kind backend.Kind
+	switch opts.Precision {
+	case Float32:
+		kind = backend.Float32
+	case Int32:
+		kind = backend.Int32
+	case BitPacked:
+		kind = backend.BitPacked
+	default:
+		return nil, fmt.Errorf("simengine: unknown precision %d", opts.Precision)
+	}
+	p, err := plan.Compile(model)
+	if err != nil {
+		return nil, err
+	}
+	pool := backend.NewPool(opts.Workers)
+	be, err := backend.New(kind, p, opts.Batch, pool)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
 	e := &Engine{
 		model:   model,
+		plan:    p,
+		be:      be,
+		pool:    pool,
 		batch:   opts.Batch,
 		workers: opts.Workers,
 		prec:    opts.Precision,
 	}
-	size := model.Net.TotalUnits * opts.Batch
-	switch opts.Precision {
-	case Float32:
-		e.actsF = make([]float32, size)
-	case Int32:
-		e.actsI = make([]int32, size)
-		e.intW = make([]*tensor.Int32CSR, len(model.Net.Layers))
-		for i := range model.Net.Layers {
-			e.intW[i] = model.Net.Layers[i].W.ToInt32()
-		}
-	default:
-		return nil, fmt.Errorf("simengine: unknown precision %d", opts.Precision)
-	}
+	runtime.SetFinalizer(e, func(e *Engine) { e.Close() })
 	e.Reset()
 	return e, nil
+}
+
+// Close stops the engine's worker pool. The engine must not be used
+// afterwards; Close is idempotent and also runs via finalizer for
+// engines that are simply dropped.
+func (e *Engine) Close() {
+	e.close.Do(func() {
+		e.pool.Close()
+		runtime.SetFinalizer(e, nil)
+	})
 }
 
 // Batch returns the configured batch size.
@@ -95,83 +147,46 @@ func (e *Engine) Batch() int { return e.batch }
 // Model returns the compiled model.
 func (e *Engine) Model() *nn.Model { return e.model }
 
-// Reset clears all activations and restores flip-flop initial state in
-// every lane.
-func (e *Engine) Reset() {
-	for i := range e.actsF {
-		e.actsF[i] = 0
-	}
-	for i := range e.actsI {
-		e.actsI[i] = 0
-	}
-	e.lane(nn.ConstUnit, func(row []float32, irow []int32) {
-		for b := 0; b < e.batch; b++ {
-			if row != nil {
-				row[b] = 1
-			} else {
-				irow[b] = 1
-			}
-		}
-	})
-	for _, fb := range e.model.Feedback {
-		if !fb.Init {
-			continue
-		}
-		e.lane(fb.ToPI, func(row []float32, irow []int32) {
-			for b := 0; b < e.batch; b++ {
-				if row != nil {
-					row[b] = 1
-				} else {
-					irow[b] = 1
-				}
-			}
-		})
-	}
-}
+// Plan returns the lowered execution plan the engine runs.
+func (e *Engine) Plan() *plan.Plan { return e.plan }
 
-// lane hands the activation row of one unit to fn (exactly one of the
-// two slices is non-nil, matching the precision).
-func (e *Engine) lane(unit int32, fn func(frow []float32, irow []int32)) {
-	lo := int(unit) * e.batch
-	hi := lo + e.batch
-	if e.prec == Float32 {
-		fn(e.actsF[lo:hi], nil)
-	} else {
-		fn(nil, e.actsI[lo:hi])
+// Precision returns the engine's execution substrate.
+func (e *Engine) Precision() Precision { return e.prec }
+
+// Reset clears all activations — including the Q lanes of flip-flops
+// without initial state — and restores flip-flop initial state in every
+// lane.
+func (e *Engine) Reset() {
+	e.be.Zero()
+	e.be.SetUniform(e.plan.Slot[nn.ConstUnit], true)
+	for _, fb := range e.model.Feedback {
+		if fb.Init {
+			e.be.SetUniform(e.plan.Slot[fb.ToPI], true)
+		}
 	}
 }
 
 // SetInput loads an input port: values[b] is the port value for batch
-// lane b (LSB-first bit order). Missing lanes read as zero.
+// lane b (LSB-first bit order). Missing lanes and bits beyond 64 read
+// as zero; ports wider than 64 bits need SetInputBits per lane.
 func (e *Engine) SetInput(name string, values []uint64) error {
 	pm := e.model.FindInput(name)
 	if pm == nil {
 		return fmt.Errorf("simengine: no input port %q", name)
 	}
 	for i, unit := range pm.Units {
-		bit := uint(i)
-		e.lane(unit, func(row []float32, irow []int32) {
-			for b := 0; b < e.batch; b++ {
-				var v uint64
-				if b < len(values) {
-					v = values[b]
-				}
-				on := bit < 64 && v>>bit&1 == 1
-				if row != nil {
-					if on {
-						row[b] = 1
-					} else {
-						row[b] = 0
-					}
-				} else {
-					if on {
-						irow[b] = 1
-					} else {
-						irow[b] = 0
-					}
-				}
+		slot := e.plan.Slot[unit]
+		if i >= 64 {
+			e.be.SetUniform(slot, false)
+			continue
+		}
+		for b := 0; b < e.batch; b++ {
+			var v uint64
+			if b < len(values) {
+				v = values[b]
 			}
-		})
+			e.be.Set(slot, b, v>>uint(i)&1 == 1)
+		}
 	}
 	return nil
 }
@@ -185,61 +200,35 @@ func (e *Engine) SetInputUniform(name string, value uint64) error {
 	return e.SetInput(name, vals)
 }
 
-// Forward runs one combinational pass: every layer's SpMM (batched,
-// row-parallel) followed by its threshold.
-func (e *Engine) Forward() {
-	net := e.model.Net
-	for li := range net.Layers {
-		l := &net.Layers[li]
-		seg := int(net.SegStart[li]) * e.batch
-		rows := l.W.Rows
-		if e.prec == Float32 {
-			out := e.actsF[seg : seg+rows*e.batch]
-			l.W.MulBatchParallel(e.actsF[:l.W.Cols*e.batch], e.batch, out, e.workers)
-			if l.Threshold {
-				for r := 0; r < rows; r++ {
-					bias := l.Bias[r]
-					or := out[r*e.batch : (r+1)*e.batch]
-					for b := range or {
-						if or[b]-bias > 0 {
-							or[b] = 1
-						} else {
-							or[b] = 0
-						}
-					}
-				}
-			}
-		} else {
-			out := e.actsI[seg : seg+rows*e.batch]
-			e.intW[li].MulBatchParallel(e.actsI[:l.W.Cols*e.batch], e.batch, out, e.workers)
-			if l.Threshold {
-				for r := 0; r < rows; r++ {
-					bias := int32(l.Bias[r])
-					or := out[r*e.batch : (r+1)*e.batch]
-					for b := range or {
-						if or[b]-bias > 0 {
-							or[b] = 1
-						} else {
-							or[b] = 0
-						}
-					}
-				}
-			}
-		}
+// SetInputBits loads the full width of an input port for one batch lane
+// (LSB-first), the write-side counterpart of GetOutputBits for buses
+// wider than 64 bits. Missing bits read as zero.
+func (e *Engine) SetInputBits(name string, laneIdx int, bits []bool) error {
+	pm := e.model.FindInput(name)
+	if pm == nil {
+		return fmt.Errorf("simengine: no input port %q", name)
 	}
+	if laneIdx < 0 || laneIdx >= e.batch {
+		return fmt.Errorf("simengine: lane %d out of range", laneIdx)
+	}
+	for i, unit := range pm.Units {
+		v := i < len(bits) && bits[i]
+		e.be.Set(e.plan.Slot[unit], laneIdx, v)
+	}
+	return nil
+}
+
+// Forward runs one combinational pass: every plan layer's fused kernel
+// on the engine's backend.
+func (e *Engine) Forward() {
+	e.be.Forward()
 }
 
 // LatchFeedback copies every flip-flop D value back to its Q input slot
 // (the recurrent pseudo-I/O connection of §III-C).
 func (e *Engine) LatchFeedback() {
 	for _, fb := range e.model.Feedback {
-		src := int(fb.FromUnit) * e.batch
-		dst := int(fb.ToPI) * e.batch
-		if e.prec == Float32 {
-			copy(e.actsF[dst:dst+e.batch], e.actsF[src:src+e.batch])
-		} else {
-			copy(e.actsI[dst:dst+e.batch], e.actsI[src:src+e.batch])
-		}
+		e.be.Copy(e.plan.Slot[fb.ToPI], e.plan.Slot[fb.FromUnit])
 	}
 }
 
@@ -250,37 +239,33 @@ func (e *Engine) Step() {
 }
 
 // GetOutput reads an output port across lanes (values as set by the
-// last Forward).
+// last Forward). Ports wider than 64 bits do not fit a uint64 lane:
+// GetOutput reports an error wrapping ErrWidePort instead of silently
+// truncating; read those with GetOutputBits.
 func (e *Engine) GetOutput(name string) ([]uint64, error) {
 	pm := e.model.FindOutput(name)
 	if pm == nil {
 		return nil, fmt.Errorf("simengine: no output port %q", name)
 	}
+	if len(pm.Units) > 64 {
+		return nil, fmt.Errorf("simengine: output port %q is %d bits: %w",
+			name, len(pm.Units), ErrWidePort)
+	}
 	out := make([]uint64, e.batch)
 	for i, unit := range pm.Units {
-		if i >= 64 {
-			break
-		}
-		e.lane(unit, func(row []float32, irow []int32) {
-			for b := 0; b < e.batch; b++ {
-				on := false
-				if row != nil {
-					on = row[b] > 0.5
-				} else {
-					on = irow[b] != 0
-				}
-				if on {
-					out[b] |= 1 << uint(i)
-				}
+		slot := e.plan.Slot[unit]
+		for b := 0; b < e.batch; b++ {
+			if e.be.Get(slot, b) {
+				out[b] |= 1 << uint(i)
 			}
-		})
+		}
 	}
 	return out, nil
 }
 
 // GetOutputBits reads the full width of an output port for one batch
-// lane (GetOutput truncates to 64 bits; wide buses like a 128-bit AES
-// ciphertext need this form).
+// lane (wide buses like a 128-bit AES ciphertext don't fit GetOutput's
+// uint64 lanes).
 func (e *Engine) GetOutputBits(name string, laneIdx int) ([]bool, error) {
 	pm := e.model.FindOutput(name)
 	if pm == nil {
@@ -291,20 +276,17 @@ func (e *Engine) GetOutputBits(name string, laneIdx int) ([]bool, error) {
 	}
 	out := make([]bool, len(pm.Units))
 	for i, unit := range pm.Units {
-		idx := int(unit)*e.batch + laneIdx
-		if e.prec == Float32 {
-			out[i] = e.actsF[idx] > 0.5
-		} else {
-			out[i] = e.actsI[idx] != 0
-		}
+		out[i] = e.be.Get(e.plan.Slot[unit], laneIdx)
 	}
 	return out, nil
 }
 
 // Throughput converts a timed run into the paper's metric,
 // gates·cycles/s (§IV): batch lanes each advance `cycles` cycles.
+// Degenerate inputs (no gates, no elapsed time) report zero rather than
+// a meaningless or infinite rate.
 func Throughput(gateCount int64, cycles, batch int, elapsed time.Duration) float64 {
-	if elapsed <= 0 {
+	if gateCount <= 0 || elapsed <= 0 {
 		return 0
 	}
 	return float64(gateCount) * float64(cycles) * float64(batch) / elapsed.Seconds()

@@ -1,0 +1,151 @@
+// Bit-packed boolean SpMM kernels — the uint64 execution substrate of
+// the paper's §V "integer and binary kernels" future-work item taken to
+// its logical end: every activation of the compiled network is binary,
+// so a batch of 64 stimuli fits one machine word per neuron and a
+// threshold row collapses into word-wide boolean arithmetic.
+//
+// Layout: packed activations are neuron-major like the float kernels —
+// a network of N units over a batch of B stimuli is a flat []uint64 of
+// N*W words, W = PackedWords(B), where word n*W+w holds lanes
+// 64w..64w+63 of unit n (lane b is bit b%64 of word n*W + b/64).
+//
+// Arithmetic is bit-sliced: each row's per-lane integer sum is carried
+// in an array of bit planes (plane j holds bit j of all 64 lane
+// counters at once). Adding an activation word with weight v costs one
+// ripple-carry plane addition per set bit of v; the threshold compare
+// pos > neg + bias is one borrow-propagation pass over the planes. A
+// row with k unit-weight connections therefore costs O(k·log k) word
+// operations for 64 lanes, against 64·k float multiply-adds.
+package tensor
+
+import "math/bits"
+
+// PackedWords returns the number of 64-lane uint64 words covering a
+// batch of the given size.
+func PackedWords(batch int) int { return (batch + 63) / 64 }
+
+// MaxPlanes is the bit-sliced accumulator capacity: per-lane sums (and
+// thresholds) must stay below 2^MaxPlanes. Execution planning rejects
+// layers that could exceed it; realistic networks peak around 2^20.
+const MaxPlanes = 48
+
+// addAtPlane adds word x into the accumulator starting at plane j,
+// rippling carries upward. n is the number of planes currently in use
+// (planes at and above n hold stale data and are logically zero); the
+// new plane count is returned.
+func addAtPlane(pl *[MaxPlanes]uint64, n int, x uint64, j int) int {
+	for x != 0 {
+		if j >= n {
+			for k := n; k < j; k++ {
+				pl[k] = 0
+			}
+			pl[j] = x
+			return j + 1
+		}
+		carry := pl[j] & x
+		pl[j] ^= x
+		x = carry
+		j++
+	}
+	return n
+}
+
+// addWeighted adds weight·x to the accumulator: x enters once per set
+// bit of the weight, shifted to that bit's plane.
+func addWeighted(pl *[MaxPlanes]uint64, n int, x uint64, weight uint32) int {
+	for ; weight != 0; weight &= weight - 1 {
+		n = addAtPlane(pl, n, x, bits.TrailingZeros32(weight))
+	}
+	return n
+}
+
+// addConst adds the same constant c to every lane counter: one
+// all-ones plane addition per set bit of c.
+func addConst(pl *[MaxPlanes]uint64, n int, c uint64) int {
+	for ; c != 0; c &= c - 1 {
+		n = addAtPlane(pl, n, ^uint64(0), bits.TrailingZeros64(c))
+	}
+	return n
+}
+
+// greater returns the lane mask of pos > neg, computed as the absence
+// of a borrow in pos − neg − 1 (full-subtractor borrow propagation over
+// the planes; borrow-in of all-ones is the −1).
+func greater(pos *[MaxPlanes]uint64, np int, neg *[MaxPlanes]uint64, nn int) uint64 {
+	n := np
+	if nn > n {
+		n = nn
+	}
+	borrow := ^uint64(0)
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < np {
+			a = pos[i]
+		}
+		if i < nn {
+			b = neg[i]
+		}
+		borrow = (^a & (b | borrow)) | (b & borrow)
+	}
+	return ^borrow
+}
+
+// PackedThreshRange computes rows lo..hi of the packed threshold
+// product: output bit of row r, lane b is (Σ_p Val[p]·x[Col[p]][b]) >
+// thresh[r]. x is the packed activation arena (words words per unit);
+// y is the packed output block, row-major (row r occupies
+// y[r*words:(r+1)*words]). Positive and negative weight contributions
+// accumulate in separate non-negative counters; a negative threshold
+// moves to the positive side so both stay unsigned.
+func (m *Int32CSR) PackedThreshRange(x []uint64, words int, thresh []int32, y []uint64, lo, hi int) {
+	var pos, neg [MaxPlanes]uint64
+	for r := lo; r < hi; r++ {
+		th := thresh[r]
+		p0, p1 := m.RowPtr[r], m.RowPtr[r+1]
+		for wi := 0; wi < words; wi++ {
+			np, nn := 0, 0
+			for p := p0; p < p1; p++ {
+				xw := x[int(m.Col[p])*words+wi]
+				if xw == 0 {
+					continue
+				}
+				if v := m.Val[p]; v >= 0 {
+					np = addWeighted(&pos, np, xw, uint32(v))
+				} else {
+					nn = addWeighted(&neg, nn, xw, uint32(-v))
+				}
+			}
+			if th >= 0 {
+				nn = addConst(&neg, nn, uint64(th))
+			} else {
+				np = addConst(&pos, np, uint64(-th))
+			}
+			y[r*words+wi] = greater(&pos, np, &neg, nn)
+		}
+	}
+}
+
+// PackedLinearRange is the exact-linear variant: the network invariant
+// guarantees every linear row evaluates to 0 or 1 on binary inputs, so
+// the output bit is simply (Σ_p Val[p]·x[Col[p]][b]) > 0.
+func (m *Int32CSR) PackedLinearRange(x []uint64, words int, y []uint64, lo, hi int) {
+	var pos, neg [MaxPlanes]uint64
+	for r := lo; r < hi; r++ {
+		p0, p1 := m.RowPtr[r], m.RowPtr[r+1]
+		for wi := 0; wi < words; wi++ {
+			np, nn := 0, 0
+			for p := p0; p < p1; p++ {
+				xw := x[int(m.Col[p])*words+wi]
+				if xw == 0 {
+					continue
+				}
+				if v := m.Val[p]; v >= 0 {
+					np = addWeighted(&pos, np, xw, uint32(v))
+				} else {
+					nn = addWeighted(&neg, nn, xw, uint32(-v))
+				}
+			}
+			y[r*words+wi] = greater(&pos, np, &neg, nn)
+		}
+	}
+}

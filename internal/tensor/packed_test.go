@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCounts computes the per-lane integer sum of a weighted set of
+// packed words the slow way.
+func refSum(cols []uint64, weights []int32, lane int) int64 {
+	var s int64
+	for i, w := range cols {
+		if w>>uint(lane)&1 == 1 {
+			s += int64(weights[i])
+		}
+	}
+	return s
+}
+
+func TestPlanePrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		words := make([]uint64, n)
+		weights := make([]int32, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+			weights[i] = int32(1 + rng.Intn(1<<uint(rng.Intn(16))))
+		}
+		c := uint64(rng.Intn(1 << 12))
+
+		var pl [MaxPlanes]uint64
+		np := 0
+		for i := range words {
+			np = addWeighted(&pl, np, words[i], uint32(weights[i]))
+		}
+		np = addConst(&pl, np, c)
+
+		for lane := 0; lane < 64; lane++ {
+			want := refSum(words, weights, lane) + int64(c)
+			var got int64
+			for j := 0; j < np; j++ {
+				if pl[j]>>uint(lane)&1 == 1 {
+					got += 1 << uint(j)
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d lane %d: plane sum %d, reference %d", trial, lane, got, want)
+			}
+		}
+	}
+}
+
+func TestGreater(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		var pos, neg [MaxPlanes]uint64
+		np, nn := 0, 0
+		a := make([]int64, 64)
+		b := make([]int64, 64)
+		for k := 0; k < 5; k++ {
+			w := rng.Uint64()
+			np = addAtPlane(&pos, np, w, rng.Intn(6))
+		}
+		for k := 0; k < 5; k++ {
+			w := rng.Uint64()
+			nn = addAtPlane(&neg, nn, w, rng.Intn(6))
+		}
+		for lane := 0; lane < 64; lane++ {
+			for j := 0; j < np; j++ {
+				if pos[j]>>uint(lane)&1 == 1 {
+					a[lane] += 1 << uint(j)
+				}
+			}
+			for j := 0; j < nn; j++ {
+				if neg[j]>>uint(lane)&1 == 1 {
+					b[lane] += 1 << uint(j)
+				}
+			}
+		}
+		mask := greater(&pos, np, &neg, nn)
+		for lane := 0; lane < 64; lane++ {
+			want := a[lane] > b[lane]
+			got := mask>>uint(lane)&1 == 1
+			if got != want {
+				t.Fatalf("trial %d lane %d: %d > %d got %v", trial, lane, a[lane], b[lane], got)
+			}
+			a[lane], b[lane] = 0, 0
+		}
+	}
+}
+
+// TestPackedThreshMatchesScalar checks the packed threshold kernel
+// against a scalar int32 evaluation on random sparse matrices and
+// random binary activations, including partial last words.
+func TestPackedThreshMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(30)
+		var entries []Triple
+		for r := 0; r < rows; r++ {
+			seen := map[int32]bool{}
+			for k := 0; k < rng.Intn(8); k++ {
+				c := int32(rng.Intn(cols))
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				v := float32(rng.Intn(9) - 4)
+				if v == 0 {
+					v = 1
+				}
+				entries = append(entries, Triple{Row: int32(r), Col: c, Val: v})
+			}
+		}
+		m, err := FromTriples(rows, cols, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mi := m.ToInt32()
+
+		for _, batch := range []int{1, 5, 64, 67, 130} {
+			words := PackedWords(batch)
+			x := make([]uint64, cols*words)
+			xbits := make([][]bool, cols)
+			for c := 0; c < cols; c++ {
+				xbits[c] = make([]bool, batch)
+				for b := 0; b < batch; b++ {
+					if rng.Intn(2) == 1 {
+						xbits[c][b] = true
+						x[c*words+b/64] |= 1 << uint(b%64)
+					}
+				}
+			}
+			thresh := make([]int32, rows)
+			for r := range thresh {
+				thresh[r] = int32(rng.Intn(7) - 3)
+			}
+			y := make([]uint64, rows*words)
+			mi.PackedThreshRange(x, words, thresh, y, 0, rows)
+			yl := make([]uint64, rows*words)
+			mi.PackedLinearRange(x, words, yl, 0, rows)
+
+			for r := 0; r < rows; r++ {
+				for b := 0; b < batch; b++ {
+					var sum int32
+					for p := mi.RowPtr[r]; p < mi.RowPtr[r+1]; p++ {
+						if xbits[mi.Col[p]][b] {
+							sum += mi.Val[p]
+						}
+					}
+					want := sum > thresh[r]
+					got := y[r*words+b/64]>>uint(b%64)&1 == 1
+					if got != want {
+						t.Fatalf("trial %d batch %d row %d lane %d: packed %v, scalar sum %d thresh %d",
+							trial, batch, r, b, got, sum, thresh[r])
+					}
+					wantL := sum > 0
+					gotL := yl[r*words+b/64]>>uint(b%64)&1 == 1
+					if gotL != wantL {
+						t.Fatalf("trial %d batch %d row %d lane %d: packed linear %v, scalar sum %d",
+							trial, batch, r, b, gotL, sum)
+					}
+				}
+			}
+		}
+	}
+}
