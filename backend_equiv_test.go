@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"c2nn/internal/gatesim"
 	"c2nn/internal/lutmap"
 	"c2nn/internal/nn"
 	"c2nn/internal/simengine"
@@ -138,6 +139,134 @@ func TestBackendsBitIdenticalOnBenchmarks(t *testing.T) {
 				diffBackends(t, model, 16, 67, int64(l)*1000+7)
 			})
 		}
+	}
+}
+
+// TestSequentialTrajectoriesAcrossSimulators is the sequential fuzz:
+// random flip-flop-bearing circuits are driven for many cycles with
+// per-lane random stimuli through FIVE simulators in lock-step — the
+// event-driven gate simulator (one instance per lane), the bit-parallel
+// gate simulator, and all three NN engine backends — and every output
+// bit of every lane must agree on every cycle. This pins not just the
+// combinational forward pass but whole state trajectories: a mismatch
+// in any latch, init value or feedback path compounds over cycles and
+// surfaces here.
+func TestSequentialTrajectoriesAcrossSimulators(t *testing.T) {
+	trials := 10
+	cycles := 24
+	if testing.Short() {
+		trials, cycles = 3, 12
+	}
+	const batch = 8 // BatchSim carries 64 fixed lanes; we drive the first 8
+
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < trials; trial++ {
+		nIn := 2 + rng.Intn(8)
+		nGates := 10 + rng.Intn(100)
+		nFFs := 1 + rng.Intn(8) // always sequential
+		k := 2 + rng.Intn(6)
+		merge := rng.Intn(2) == 0
+
+		nl := randomCircuit(rng, nIn, nGates, nFFs)
+		if _, err := nl.Optimize(); err != nil {
+			t.Fatalf("trial %d: optimize: %v", trial, err)
+		}
+		prog, err := gatesim.Compile(nl)
+		if err != nil {
+			t.Fatalf("trial %d: gatesim compile: %v", trial, err)
+		}
+		m, err := lutmap.MapNetlist(nl, lutmap.Options{K: k})
+		if err != nil {
+			t.Fatalf("trial %d: map: %v", trial, err)
+		}
+		model, err := nn.Build(nl, m, nn.BuildOptions{Merge: merge, L: k})
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+
+		t.Run(fmt.Sprintf("trial%d_K%d_merge%v_ffs%d", trial, k, merge, nFFs), func(t *testing.T) {
+			events := make([]*gatesim.EventSim, batch)
+			for lane := range events {
+				events[lane] = gatesim.NewEventSim(prog)
+			}
+			bs := gatesim.NewBatchSim(prog)
+			engines := make([]*Engine, len(backendPrecisions))
+			for i, prec := range backendPrecisions {
+				eng, err := NewEngine(model, EngineOptions{Batch: batch, Precision: prec})
+				if err != nil {
+					t.Fatalf("%v engine: %v", prec, err)
+				}
+				defer eng.Close()
+				engines[i] = eng
+			}
+
+			srng := rand.New(rand.NewSource(int64(trial)*97 + 13))
+			vals := make([]uint64, batch)
+			for cyc := 0; cyc < cycles; cyc++ {
+				for _, in := range model.Inputs {
+					mask := uint64(1)<<uint(len(in.Units)) - 1
+					for lane := range vals {
+						vals[lane] = srng.Uint64() & mask
+						if err := events[lane].Poke(in.Name, vals[lane]); err != nil {
+							t.Fatal(err)
+						}
+						if err := bs.PokeLane(in.Name, lane, vals[lane]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for _, eng := range engines {
+						if err := eng.SetInput(in.Name, vals); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				for lane := range events {
+					events[lane].Eval()
+				}
+				bs.Eval()
+				for _, eng := range engines {
+					eng.Forward()
+				}
+				for _, out := range model.Outputs {
+					mask := uint64(1)<<uint(len(out.Units)) - 1
+					engVals := make([][]uint64, len(engines))
+					for i, eng := range engines {
+						v, err := eng.GetOutput(out.Name)
+						if err != nil {
+							t.Fatal(err)
+						}
+						engVals[i] = v
+					}
+					for lane := 0; lane < batch; lane++ {
+						ref, err := events[lane].Peek(out.Name)
+						if err != nil {
+							t.Fatal(err)
+						}
+						bv, err := bs.PeekLane(out.Name, lane)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if bv&mask != ref {
+							t.Fatalf("cycle %d port %s lane %d: BatchSim=%#x EventSim=%#x",
+								cyc, out.Name, lane, bv&mask, ref)
+						}
+						for i := range engines {
+							if engVals[i][lane] != ref {
+								t.Fatalf("cycle %d port %s lane %d: %v=%#x EventSim=%#x",
+									cyc, out.Name, lane, backendPrecisions[i], engVals[i][lane], ref)
+							}
+						}
+					}
+				}
+				for lane := range events {
+					events[lane].Step()
+				}
+				bs.Step()
+				for _, eng := range engines {
+					eng.LatchFeedback()
+				}
+			}
+		})
 	}
 }
 

@@ -28,12 +28,14 @@
 //	internal/bench      experiment harness (Table I, Fig. 4, Fig. 6, ablations)
 //	internal/vcd        VCD waveform writer
 //	internal/testbench  stimulus-script format and runner
+//	internal/fault      stuck-at/SEU fault injection and coverage grading
 package c2nn
 
 import (
 	"fmt"
 
 	"c2nn/internal/circuits"
+	"c2nn/internal/fault"
 	"c2nn/internal/gatesim"
 	"c2nn/internal/irlint"
 	"c2nn/internal/irlint/diag"
@@ -208,6 +210,44 @@ func Verify(name string, l, cycles, batch int, seed int64) (int64, error) {
 
 // Benchmarks returns the built-in benchmark circuits.
 func Benchmarks() []Circuit { return circuits.All() }
+
+// FaultReport is the coverage report of a fault-grading run.
+type FaultReport = fault.Report
+
+// FaultCoverage compiles a built-in benchmark circuit at LUT size l,
+// enumerates and collapses its stuck-at/SEU fault universe, and grades
+// it with random stimuli on the bit-packed engine: lane 0 is the golden
+// machine, every other lane carries one fault class, so each uint64
+// word simulates 63 faulty machines in parallel. See docs/FAULT.md and
+// the "c2nn fault" subcommand for script-driven grading.
+func FaultCoverage(name string, l, cycles, batch int, seed int64) (*FaultReport, error) {
+	c, err := circuits.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := c.Elaborate()
+	if err != nil {
+		return nil, err
+	}
+	if l == 0 {
+		l = 7
+	}
+	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: l})
+	if err != nil {
+		return nil, err
+	}
+	model, err := nn.Build(nl, m, nn.BuildOptions{Merge: true, L: l})
+	if err != nil {
+		return nil, err
+	}
+	u := fault.Enumerate(m.Graph, len(model.Feedback))
+	return fault.Grade(model, m.Graph, u, nil, fault.Config{
+		Precision:    BitPacked,
+		Batch:        batch,
+		RandomCycles: cycles,
+		Seed:         seed,
+	})
+}
 
 // LintVerilog runs the cross-stage IR verifier over a source-level
 // compile: the Verilog AST is linted first, then the design is

@@ -36,6 +36,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "run the backend comparison and emit JSON (implies -backends)")
 		outPath   = flag.String("out", "", "write the -json report to this file instead of stdout")
 		influence = flag.Bool("influence", false, "check the §II-B sensitivity-vs-density hypothesis over the mapped LUTs")
+		faults    = flag.Bool("faults", false, "grade stuck-at fault coverage and report faults/s per backend")
 		all       = flag.Bool("all", false, "run everything")
 		circuitsF = flag.String("circuits", "", "comma-separated circuit names for -table1 (default all)")
 		lsF       = flag.String("L", "3,7,11", "comma-separated LUT sizes for -table1")
@@ -142,6 +143,30 @@ func main() {
 			fmt.Println("\n=== Execution backends ===")
 			fmt.Print(bench.FormatBackends(rows))
 		}
+	}
+
+	if *faults || *all {
+		ran = true
+		cfg := bench.DefaultFaultsConfig()
+		var names []string
+		if *circuitsF != "" {
+			for _, s := range strings.Split(*circuitsF, ",") {
+				names = append(names, strings.TrimSpace(s))
+			}
+		} else if !*all {
+			names = nil
+		}
+		if *all {
+			// Keep -all bounded: the protocol cores alone exercise the
+			// grading path on tens of thousands of fault classes.
+			names = []string{"UART", "SPI"}
+		}
+		rows, err := bench.RunFaults(names, cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n=== Fault grading (faults/s per backend) ===")
+		fmt.Print(bench.FormatFaults(rows))
 	}
 
 	if *influence || *all {

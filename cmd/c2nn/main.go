@@ -8,6 +8,8 @@
 //	c2nn -o aes.c2nn -L 11 -circuit AES
 //	c2nn lint -all
 //	c2nn lint -circuit AES -L 4 -json
+//	c2nn fault -tb testbenches/uart_smoke.tb -backend bitpacked -json
+//	c2nn fault -circuit SPI -random 64 -limit 2000
 //
 // Flags:
 //
@@ -21,7 +23,9 @@
 //	-check       run the irlint IR verifier at every stage boundary
 //
 // The lint subcommand runs the cross-stage verifier without writing a
-// model; see "c2nn lint -h".
+// model; see "c2nn lint -h". The fault subcommand grades stuck-at/SEU
+// fault coverage on the batched engine; see "c2nn fault -h" and
+// docs/FAULT.md.
 package main
 
 import (
@@ -108,6 +112,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		if err := runLint(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "c2nn lint:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fault" {
+		if err := runFault(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "c2nn fault:", err)
 			os.Exit(1)
 		}
 		return

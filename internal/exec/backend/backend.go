@@ -61,6 +61,11 @@ type Backend interface {
 	Batch() int
 	// Forward runs every layer of the plan over the current arena.
 	Forward()
+	// RunLayer runs a single plan layer over the current arena. Forward
+	// is equivalent to RunLayer over every layer in order; the split
+	// exists so callers can interpose per-lane state edits between
+	// layers (the fault-injection overlay hook).
+	RunLayer(li int)
 	// Set writes one activation lane of an arena row.
 	Set(slot int32, lane int, v bool)
 	// Get reads one activation lane of an arena row.

@@ -38,20 +38,24 @@ func (e *bpBackend) Kind() Kind { return BitPacked }
 func (e *bpBackend) Batch() int { return e.batch }
 
 func (e *bpBackend) Forward() {
-	words := e.words
 	for li := range e.plan.Layers {
-		l := &e.plan.Layers[li]
-		w := l.WInt
-		out := e.acts[int(l.OutSlot)*words:]
-		if l.Kernel == plan.KernelLinear {
-			e.pool.Run(w.Rows, func(lo, hi int) {
-				w.PackedLinearRange(e.acts, words, out, lo, hi)
-			})
-		} else {
-			e.pool.Run(w.Rows, func(lo, hi int) {
-				w.PackedThreshRange(e.acts, words, l.Thresh, out, lo, hi)
-			})
-		}
+		e.RunLayer(li)
+	}
+}
+
+func (e *bpBackend) RunLayer(li int) {
+	words := e.words
+	l := &e.plan.Layers[li]
+	w := l.WInt
+	out := e.acts[int(l.OutSlot)*words:]
+	if l.Kernel == plan.KernelLinear {
+		e.pool.Run(w.Rows, func(lo, hi int) {
+			w.PackedLinearRange(e.acts, words, out, lo, hi)
+		})
+	} else {
+		e.pool.Run(w.Rows, func(lo, hi int) {
+			w.PackedThreshRange(e.acts, words, l.Thresh, out, lo, hi)
+		})
 	}
 }
 

@@ -23,42 +23,46 @@ func (e *f32Backend) Kind() Kind { return Float32 }
 func (e *f32Backend) Batch() int { return e.batch }
 
 func (e *f32Backend) Forward() {
-	b := e.batch
 	for li := range e.plan.Layers {
-		l := &e.plan.Layers[li]
-		w := l.W
-		out := e.acts[int(l.OutSlot)*b:]
-		e.pool.Run(w.Rows, func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				o := out[r*b : r*b+b]
-				for i := range o {
-					o[i] = 0
-				}
-				for p := w.RowPtr[r]; p < w.RowPtr[r+1]; p++ {
-					x := e.acts[int(w.Col[p])*b : int(w.Col[p])*b+b]
-					if v := w.Val[p]; v == 1 {
-						for i, xv := range x {
-							o[i] += xv
-						}
-					} else {
-						for i, xv := range x {
-							o[i] += v * xv
-						}
+		e.RunLayer(li)
+	}
+}
+
+func (e *f32Backend) RunLayer(li int) {
+	b := e.batch
+	l := &e.plan.Layers[li]
+	w := l.W
+	out := e.acts[int(l.OutSlot)*b:]
+	e.pool.Run(w.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			o := out[r*b : r*b+b]
+			for i := range o {
+				o[i] = 0
+			}
+			for p := w.RowPtr[r]; p < w.RowPtr[r+1]; p++ {
+				x := e.acts[int(w.Col[p])*b : int(w.Col[p])*b+b]
+				if v := w.Val[p]; v == 1 {
+					for i, xv := range x {
+						o[i] += xv
 					}
-				}
-				if l.Kernel != plan.KernelLinear {
-					bias := l.Bias[r]
-					for i := range o {
-						if o[i] > bias {
-							o[i] = 1
-						} else {
-							o[i] = 0
-						}
+				} else {
+					for i, xv := range x {
+						o[i] += v * xv
 					}
 				}
 			}
-		})
-	}
+			if l.Kernel != plan.KernelLinear {
+				bias := l.Bias[r]
+				for i := range o {
+					if o[i] > bias {
+						o[i] = 1
+					} else {
+						o[i] = 0
+					}
+				}
+			}
+		}
+	})
 }
 
 func (e *f32Backend) Set(slot int32, lane int, v bool) {

@@ -102,11 +102,27 @@ type Plan struct {
 	Layers []Layer
 }
 
-// Compile lowers a model into an execution plan. It fails on networks
-// whose weights or biases are not exact integers (compiled circuits
-// always are) or whose row sums could overflow the bit-sliced
-// accumulator capacity.
+// Options tunes plan compilation.
+type Options struct {
+	// DisableArenaReuse keeps every layer's activation block alive for
+	// the whole forward pass instead of recycling dead blocks. Fault
+	// injection needs this: per-lane overlays read and rewrite unit
+	// activations between layers, including units whose coefficients
+	// cancelled out of every weight row — liveness would recycle those
+	// slots mid-pass.
+	DisableArenaReuse bool
+}
+
+// Compile lowers a model into an execution plan with default options.
 func Compile(m *nn.Model) (*Plan, error) {
+	return CompileOpts(m, Options{})
+}
+
+// CompileOpts lowers a model into an execution plan. It fails on
+// networks whose weights or biases are not exact integers (compiled
+// circuits always are) or whose row sums could overflow the bit-sliced
+// accumulator capacity.
+func CompileOpts(m *nn.Model, opts Options) (*Plan, error) {
 	net := m.Net
 	nLayers := len(net.Layers)
 	if len(net.SegStart) != nLayers {
@@ -147,6 +163,11 @@ func Compile(m *nn.Model) (*Plan, error) {
 		}
 	}
 	permanent := make([]bool, nLayers)
+	if opts.DisableArenaReuse {
+		for s := range permanent {
+			permanent[s] = true
+		}
+	}
 	pin := func(unit int32) {
 		if s := segOf(unit); s >= 0 {
 			permanent[s] = true

@@ -1,0 +1,415 @@
+// Package fault implements stuck-at fault injection and coverage
+// grading on compiled circuits — the classic EDA workload the batched
+// engine is built for: lane 0 of a batch carries the golden machine and
+// every other lane one faulty machine, so the bit-packed backend grades
+// 63 faults per uint64 word per forward pass (the fault-parallel trick
+// of GPU fault simulators, recast onto the paper's stimulus-parallel
+// NN formulation).
+//
+// The fault model covers single stuck-at-0/1 faults on every LUT input
+// pin and output of the mapped computation graph, plus single-event
+// upsets (SEU) on flip-flop state. Structural collapsing merges
+// equivalent faults (identical faulty truth tables within a LUT;
+// stem/branch equivalence across single-reader LUT edges) and drops
+// locally dominated output faults, so only class representatives are
+// simulated.
+//
+// Injection works through the nn.Trace provenance: a LUT's behaviour in
+// one lane is forced by rewriting its polynomial term neurons to a
+// chosen input assignment x′ between plan layers, which makes every
+// downstream reader — merged linear forms, output rows, flip-flop
+// feedback — see exactly LUT(x′). See docs/FAULT.md.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"c2nn/internal/lutmap"
+	"c2nn/internal/truthtab"
+)
+
+// Kind enumerates fault kinds.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// OutSA0 / OutSA1 are stuck-at faults on a LUT output.
+	OutSA0 Kind = iota
+	OutSA1
+	// PinSA0 / PinSA1 are stuck-at faults on one LUT input pin.
+	PinSA0
+	PinSA1
+	// SEU is a single-event upset: one flip-flop's state bit flips once
+	// during the run.
+	SEU
+)
+
+// Fault identifies one fault site.
+type Fault struct {
+	Kind Kind
+	LUT  int // LUT index (OutSA*, PinSA*)
+	Pin  int // input pin index (PinSA*)
+	FF   int // flip-flop index (SEU)
+}
+
+// String renders the canonical fault name, e.g. "lut12/sa0",
+// "lut12.in3/sa1", "ff4/seu".
+func (f Fault) String() string {
+	switch f.Kind {
+	case OutSA0:
+		return fmt.Sprintf("lut%d/sa0", f.LUT)
+	case OutSA1:
+		return fmt.Sprintf("lut%d/sa1", f.LUT)
+	case PinSA0:
+		return fmt.Sprintf("lut%d.in%d/sa0", f.LUT, f.Pin)
+	case PinSA1:
+		return fmt.Sprintf("lut%d.in%d/sa1", f.LUT, f.Pin)
+	case SEU:
+		return fmt.Sprintf("ff%d/seu", f.FF)
+	}
+	return fmt.Sprintf("fault(kind=%d)", uint8(f.Kind))
+}
+
+// StuckVal returns the stuck value of a stuck-at fault.
+func (f Fault) StuckVal() bool { return f.Kind == OutSA1 || f.Kind == PinSA1 }
+
+// Status classifies a collapsed fault class.
+type Status uint8
+
+// Class statuses.
+const (
+	// Simulated classes have their representative graded on a batch lane.
+	Simulated Status = iota
+	// Untestable classes leave the LUT's function unchanged (the faulty
+	// truth table equals the good one); no stimulus can detect them.
+	Untestable
+	// Dominated output faults are detected by every test of a surviving
+	// pin fault of the same LUT, so grading them adds no information.
+	Dominated
+	// Unmodeled faults cannot be expressed as an input-assignment
+	// forcing (a stuck-at on a constant LUT's output toward the
+	// non-constant value); they are excluded from the coverage
+	// denominator and reported separately.
+	Unmodeled
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Simulated:
+		return "simulated"
+	case Untestable:
+		return "untestable"
+	case Dominated:
+		return "dominated"
+	case Unmodeled:
+		return "unmodeled"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Class is one collapsed equivalence class of faults.
+type Class struct {
+	// Rep is the fault injected when the class is simulated.
+	Rep Fault
+	// Members lists every collapsed fault, in enumeration order.
+	Members []Fault
+	// Status decides whether the class is graded.
+	Status Status
+}
+
+// Universe is the enumerated and collapsed fault universe of a mapped
+// circuit.
+type Universe struct {
+	// Raw is the number of enumerated faults before collapsing.
+	Raw int
+	// Classes are the collapsed classes, in enumeration order of their
+	// first member. SEU classes follow all stuck-at classes.
+	Classes []Class
+	// NumFFs is the flip-flop count (one SEU class each).
+	NumFFs int
+}
+
+// Counts tallies classes by status.
+func (u *Universe) Counts() (simulated, untestable, dominated, unmodeled int) {
+	for i := range u.Classes {
+		switch u.Classes[i].Status {
+		case Simulated:
+			simulated++
+		case Untestable:
+			untestable++
+		case Dominated:
+			dominated++
+		case Unmodeled:
+			unmodeled++
+		}
+	}
+	return
+}
+
+// SimulatedClasses returns the indices of classes to grade, in order.
+func (u *Universe) SimulatedClasses() []int {
+	var out []int
+	for i := range u.Classes {
+		if u.Classes[i].Status == Simulated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Enumerate builds the full single-fault universe of a mapped graph —
+// stuck-at-0/1 on every LUT pin and output plus one SEU per flip-flop —
+// and collapses it structurally. The result is deterministic: class
+// order follows fault enumeration order (per LUT: output sa0, sa1, then
+// pin faults pin-major), so detected-fault sets are comparable across
+// backends and runs.
+func Enumerate(g *lutmap.Graph, numFFs int) *Universe {
+	// Flat fault indexing: per LUT u, faults occupy
+	// base[u] .. base[u]+2+2·len(Ins): out/sa0, out/sa1, then for each
+	// pin p: p/sa0, p/sa1.
+	base := make([]int, len(g.LUTs)+1)
+	for u := range g.LUTs {
+		base[u+1] = base[u] + 2 + 2*len(g.LUTs[u].Ins)
+	}
+	n := base[len(g.LUTs)]
+	faults := make([]Fault, n)
+	tables := make([]truthtab.Table, n) // faulty truth table of each fault
+	untestable := make([]bool, n)       // faulty == good
+	unmodelable := make([]bool, n)      // no forcing assignment exists
+	uf := newUnionFind(n)
+
+	for u := range g.LUTs {
+		t := g.LUTs[u].Table
+		b := base[u]
+		faults[b] = Fault{Kind: OutSA0, LUT: u}
+		faults[b+1] = Fault{Kind: OutSA1, LUT: u}
+		tables[b] = truthtab.Const(t.NumVars, false)
+		tables[b+1] = truthtab.Const(t.NumVars, true)
+		for p := range g.LUTs[u].Ins {
+			faults[b+2+2*p] = Fault{Kind: PinSA0, LUT: u, Pin: p}
+			faults[b+3+2*p] = Fault{Kind: PinSA1, LUT: u, Pin: p}
+			tables[b+2+2*p] = pinFaultTable(t, p, false)
+			tables[b+3+2*p] = pinFaultTable(t, p, true)
+		}
+		// Local equivalence: identical faulty tables collapse.
+		groups := make(map[string]int)
+		for i := b; i < base[u+1]; i++ {
+			untestable[i] = tables[i].Equal(t)
+			key := tableKey(tables[i])
+			if leader, ok := groups[key]; ok {
+				uf.union(leader, i)
+			} else {
+				groups[key] = i
+			}
+		}
+		// Output stuck-at-v is unmodelable when no input assignment
+		// produces v (constant LUTs only; such faults are still real —
+		// they just cannot be expressed as a term forcing).
+		if c, v := t.IsConst(); c {
+			if v {
+				unmodelable[b] = true
+			} else {
+				unmodelable[b+1] = true
+			}
+		}
+	}
+
+	// Stem/branch equivalence: an output fault on a LUT with exactly one
+	// reader pin and no direct graph-output reference is the same fault
+	// as the stuck-at on that reader pin.
+	type readerRef struct{ lut, pin int }
+	readers := make(map[int][]readerRef)
+	for u := range g.LUTs {
+		for p, in := range g.LUTs[u].Ins {
+			if !in.IsPI() {
+				readers[in.LUT()] = append(readers[in.LUT()], readerRef{u, p})
+			}
+		}
+	}
+	outRef := make(map[int]bool)
+	for _, ref := range g.Outputs {
+		if !ref.IsPI() {
+			outRef[ref.LUT()] = true
+		}
+	}
+	for d := range g.LUTs {
+		rs := readers[d]
+		if len(rs) != 1 || outRef[d] {
+			continue
+		}
+		r := rs[0]
+		uf.union(base[d], base[r.lut]+2+2*r.pin)   // sa0 stem == sa0 branch
+		uf.union(base[d]+1, base[r.lut]+3+2*r.pin) // sa1 stem == sa1 branch
+	}
+
+	// Local dominance: drop an output stuck-at-w whose class was not
+	// merged with anything when some testable pin fault of the same LUT
+	// forces the output to w on every test (every test of the pin fault
+	// then detects the output fault too).
+	dominated := make([]bool, n)
+	for u := range g.LUTs {
+		t := g.LUTs[u].Table
+		b := base[u]
+		for w := 0; w < 2; w++ {
+			out := b + w
+			if untestable[out] || uf.size(out) != 1 {
+				continue
+			}
+			for i := b + 2; i < base[u+1]; i++ {
+				if untestable[i] || !forcesTo(t, tables[i], w == 1) {
+					continue
+				}
+				dominated[out] = true
+				break
+			}
+		}
+	}
+
+	// Materialise classes in first-member order.
+	u := &Universe{Raw: n + numFFs, NumFFs: numFFs}
+	classOf := make(map[int]int)
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		ci, ok := classOf[root]
+		if !ok {
+			ci = len(u.Classes)
+			classOf[root] = ci
+			u.Classes = append(u.Classes, Class{})
+		}
+		u.Classes[ci].Members = append(u.Classes[ci].Members, faults[i])
+	}
+	for i := 0; i < n; i++ {
+		ci := classOf[uf.find(i)]
+		c := &u.Classes[ci]
+		if untestable[i] {
+			c.Status = Untestable
+		}
+		if dominated[i] && c.Status != Untestable {
+			c.Status = Dominated
+		}
+	}
+	// Representative: the first modelable member (output faults come
+	// first in enumeration order, so cheap static forcings win when
+	// available). A class whose members are all unmodelable cannot be
+	// graded.
+	for ci := range u.Classes {
+		c := &u.Classes[ci]
+		rep, found := -1, false
+		for _, m := range c.Members {
+			idx := faultIndex(base, m)
+			if !unmodelable[idx] {
+				rep = idx
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.Rep = c.Members[0]
+			if c.Status == Simulated {
+				c.Status = Unmodeled
+			}
+			continue
+		}
+		c.Rep = faults[rep]
+	}
+
+	// One SEU class per flip-flop, uncollapsed.
+	for i := 0; i < numFFs; i++ {
+		f := Fault{Kind: SEU, FF: i}
+		u.Classes = append(u.Classes, Class{Rep: f, Members: []Fault{f}})
+	}
+	return u
+}
+
+// faultIndex maps a stuck-at fault back to its flat enumeration index.
+func faultIndex(base []int, f Fault) int {
+	b := base[f.LUT]
+	switch f.Kind {
+	case OutSA0:
+		return b
+	case OutSA1:
+		return b + 1
+	case PinSA0:
+		return b + 2 + 2*f.Pin
+	case PinSA1:
+		return b + 3 + 2*f.Pin
+	}
+	panic("fault: no flat index for " + f.String())
+}
+
+// pinFaultTable returns the faulty truth table of the LUT when input
+// pin p is stuck at v: T_f(x) = T(x with bit p forced to v).
+func pinFaultTable(t truthtab.Table, p int, v bool) truthtab.Table {
+	r := truthtab.New(t.NumVars)
+	for i := 0; i < t.Size(); i++ {
+		src := i &^ (1 << uint(p))
+		if v {
+			src |= 1 << uint(p)
+		}
+		r.SetBit(i, t.Bit(src))
+	}
+	return r
+}
+
+// forcesTo reports whether every input assignment where the faulty
+// table differs from the good one produces output w — the condition for
+// the pin fault's tests to detect the output stuck-at-w.
+func forcesTo(good, faulty truthtab.Table, w bool) bool {
+	for i := 0; i < good.Size(); i++ {
+		if faulty.Bit(i) != good.Bit(i) && faulty.Bit(i) != w {
+			return false
+		}
+	}
+	return true
+}
+
+// tableKey is a collision-free string key over table contents.
+func tableKey(t truthtab.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", t.NumVars)
+	for _, w := range t.Words {
+		fmt.Fprintf(&b, "%016x", w)
+	}
+	return b.String()
+}
+
+// unionFind is a standard disjoint-set forest with size tracking.
+type unionFind struct {
+	parent []int
+	sz     []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), sz: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.sz[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(i int) int {
+	for uf.parent[i] != i {
+		uf.parent[i] = uf.parent[uf.parent[i]]
+		i = uf.parent[i]
+	}
+	return i
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	// Keep the smaller index as root so class order follows enumeration
+	// order deterministically.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.sz[ra] += uf.sz[rb]
+}
+
+func (uf *unionFind) size(i int) int { return uf.sz[uf.find(i)] }

@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"c2nn/internal/exec/plan"
+	"c2nn/internal/irlint/diag"
+	"c2nn/internal/lutmap"
+	"c2nn/internal/truthtab"
+)
+
+// Fault-stage lint rules: the overlay compiler and the universe
+// collapser are verified the same way every other pipeline stage is —
+// declared against the diag registry and orchestrated by
+// internal/irlint.
+var (
+	// RuleOverlayTarget flags overlay ops whose layer, unit or lane
+	// falls outside the plan and batch they are applied to.
+	RuleOverlayTarget = diag.Register(diag.Rule{
+		ID: "FT001", Stage: diag.StageFault, Severity: diag.Error,
+		Summary: "fault overlay ops must target layers, units and lanes that exist in the plan",
+	})
+	// RuleGoldenLane flags overlay ops on batch lane 0, which must stay
+	// the fault-free reference machine.
+	RuleGoldenLane = diag.Register(diag.Rule{
+		ID: "FT002", Stage: diag.StageFault, Severity: diag.Error,
+		Summary: "batch lane 0 (the golden machine) must stay overlay-free",
+	})
+	// RuleClassConsistency flags collapsed classes that do not partition
+	// the fault universe or whose members are not provably equivalent.
+	RuleClassConsistency = diag.Register(diag.Rule{
+		ID: "FT003", Stage: diag.StageFault, Severity: diag.Error,
+		Summary: "collapsed fault classes must partition the universe into equivalent members",
+	})
+	// RuleEmptyUniverse warns when nothing can be graded.
+	RuleEmptyUniverse = diag.Register(diag.Rule{
+		ID: "FT004", Stage: diag.StageFault, Severity: diag.Warning,
+		Summary: "fault universe has no simulatable class",
+	})
+)
+
+// Lint verifies a compiled overlay against the plan it will run on and
+// the batch size of the engine (rules FT001, FT002).
+func (o *Overlay) Lint(p *plan.Plan, batch int) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	tr := o.model.Trace
+
+	checkLane := func(loc string, lane int) {
+		if lane < 0 || lane >= batch {
+			ds = append(ds, RuleOverlayTarget.New(loc, "lane %d outside batch of %d", lane, batch))
+		}
+		if lane == 0 {
+			ds = append(ds, RuleGoldenLane.New(loc, "op targets the golden lane"))
+		}
+	}
+	checkUnit := func(loc string, unit int32) {
+		if unit < 0 || int(unit) >= len(p.Slot) {
+			ds = append(ds, RuleOverlayTarget.New(loc, "unit %d outside the plan's %d units", unit, len(p.Slot)))
+		}
+	}
+	checkLayer := func(loc string, li int) {
+		if li < 0 || li >= len(p.Layers) {
+			ds = append(ds, RuleOverlayTarget.New(loc, "hook layer %d outside the plan's %d layers", li, len(p.Layers)))
+		}
+	}
+	checkTerms := func(loc string, lut int32) {
+		lt := &tr.LUTs[lut]
+		for _, tu := range lt.TermUnits {
+			checkUnit(loc, tu)
+		}
+	}
+
+	layers := make([]int, 0, len(o.forces)+len(o.pins))
+	for li := range o.forces {
+		layers = append(layers, li)
+	}
+	for li := range o.pins {
+		if _, dup := o.forces[li]; !dup {
+			layers = append(layers, li)
+		}
+	}
+	sort.Ints(layers)
+	for _, li := range layers {
+		loc := fmt.Sprintf("layer %d", li)
+		checkLayer(loc, li)
+		for _, op := range o.forces[li] {
+			checkLane(loc, op.lane)
+			checkTerms(loc, op.lut)
+		}
+		for _, op := range o.pins[li] {
+			checkLane(loc, op.lane)
+			checkTerms(loc, op.lut)
+		}
+	}
+	for i, s := range o.seus {
+		loc := fmt.Sprintf("seu %d", i)
+		checkLane(loc, s.lane)
+		checkUnit(loc, s.unit)
+	}
+	return ds
+}
+
+// Lint verifies the collapsed universe against the graph it was
+// enumerated from (rules FT003, FT004): classes must partition the full
+// single-fault universe, representatives must be members, members on
+// one LUT must share a faulty truth table, and cross-LUT members must
+// be justified by a single-reader stem/branch edge.
+func (u *Universe) Lint(g *lutmap.Graph) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+
+	// Partition: every enumerable fault exactly once.
+	want := 0
+	for lut := range g.LUTs {
+		want += 2 + 2*len(g.LUTs[lut].Ins)
+	}
+	want += u.NumFFs
+	seen := make(map[Fault]int)
+	total := 0
+	for ci := range u.Classes {
+		for _, m := range u.Classes[ci].Members {
+			seen[m]++
+			total++
+		}
+	}
+	if total != want || len(seen) != total {
+		ds = append(ds, RuleClassConsistency.New("universe",
+			"classes carry %d members (%d distinct) for a universe of %d faults", total, len(seen), want))
+	}
+
+	simulatable := false
+	for ci := range u.Classes {
+		c := &u.Classes[ci]
+		loc := fmt.Sprintf("class %d", ci)
+		if c.Status == Simulated {
+			simulatable = true
+		}
+		repSeen := false
+		for _, m := range c.Members {
+			if m == c.Rep {
+				repSeen = true
+				break
+			}
+		}
+		if !repSeen {
+			ds = append(ds, RuleClassConsistency.New(loc, "representative %s is not a member", c.Rep))
+		}
+		// Every member must be connected to the class by a direct merge
+		// edge: local equivalence (a same-LUT member with an identical
+		// faulty truth table) or a stem/branch edge (a branch pin fault
+		// together with the output fault, of the same polarity, of the
+		// LUT driving that pin). Union-find only ever merges along these
+		// edges, so per-member edge checking is complete.
+		for _, m := range c.Members {
+			if m.Kind == SEU {
+				if len(c.Members) != 1 {
+					ds = append(ds, RuleClassConsistency.New(loc, "SEU fault %s collapsed with other faults", m))
+				}
+				continue
+			}
+			if len(c.Members) == 1 {
+				continue
+			}
+			justified := false
+			mt := faultyTable(g, m)
+			for _, o := range c.Members {
+				if o == m || o.Kind == SEU {
+					continue
+				}
+				// Local equivalence on the same LUT.
+				if o.LUT == m.LUT && mt.Equal(faultyTable(g, o)) {
+					justified = true
+					break
+				}
+				if o.StuckVal() != m.StuckVal() {
+					continue
+				}
+				// Stem/branch: m is the branch pin reading o's stem LUT,
+				// or the other way around.
+				if (m.Kind == PinSA0 || m.Kind == PinSA1) && (o.Kind == OutSA0 || o.Kind == OutSA1) {
+					if in := g.LUTs[m.LUT].Ins[m.Pin]; !in.IsPI() && in.LUT() == o.LUT {
+						justified = true
+						break
+					}
+				}
+				if (m.Kind == OutSA0 || m.Kind == OutSA1) && (o.Kind == PinSA0 || o.Kind == PinSA1) {
+					if in := g.LUTs[o.LUT].Ins[o.Pin]; !in.IsPI() && in.LUT() == m.LUT {
+						justified = true
+						break
+					}
+				}
+			}
+			if !justified {
+				ds = append(ds, RuleClassConsistency.New(loc,
+					"member %s has no merge-edge justification in its class", m))
+			}
+		}
+	}
+	if !simulatable {
+		ds = append(ds, RuleEmptyUniverse.New("universe", "no class has status simulated"))
+	}
+	return ds
+}
+
+// faultyTable recomputes the local faulty truth table of a stuck-at
+// fault (the lint oracle, independent of the enumeration path).
+func faultyTable(g *lutmap.Graph, f Fault) truthtab.Table {
+	t := g.LUTs[f.LUT].Table
+	switch f.Kind {
+	case OutSA0:
+		return truthtab.Const(t.NumVars, false)
+	case OutSA1:
+		return truthtab.Const(t.NumVars, true)
+	default:
+		return pinFaultTable(t, f.Pin, f.StuckVal())
+	}
+}

@@ -74,17 +74,18 @@ const (
 	StagePoly    Stage = "poly"    // multi-linear polynomials
 	StageNN      Stage = "nn"      // threshold neural network
 	StagePlan    Stage = "plan"    // lowered execution plan
+	StageFault   Stage = "fault"   // fault universe + lane overlays
 )
 
 // stageOrder gives the pipeline position of each stage for sorting.
 var stageOrder = map[Stage]int{
 	StageAST: 0, StageNetlist: 1, StageAIG: 2, StageLUT: 3, StagePoly: 4, StageNN: 5,
-	StagePlan: 6,
+	StagePlan: 6, StageFault: 7,
 }
 
 // Stages returns all stages in pipeline order.
 func Stages() []Stage {
-	return []Stage{StageAST, StageNetlist, StageAIG, StageLUT, StagePoly, StageNN, StagePlan}
+	return []Stage{StageAST, StageNetlist, StageAIG, StageLUT, StagePoly, StageNN, StagePlan, StageFault}
 }
 
 // Diagnostic is one rule violation found by the verifier.

@@ -19,6 +19,7 @@ import (
 
 	"c2nn/internal/aig"
 	"c2nn/internal/exec/plan"
+	"c2nn/internal/fault"
 	"c2nn/internal/irlint/diag"
 	"c2nn/internal/lutmap"
 	"c2nn/internal/netlist"
@@ -99,6 +100,34 @@ func Plan(m *nn.Model) (*diag.Report, error) {
 	}
 	r := &diag.Report{}
 	r.Add(p.Lint()...)
+	return r, nil
+}
+
+// Faults enumerates and collapses the stuck-at/SEU fault universe of
+// the mapped graph, compiles the full overlay (every simulated class on
+// its own lane) against a reuse-free plan, and lints both — the static
+// verification of the fault-injection subsystem (rules FT001–FT004).
+func Faults(model *nn.Model, g *lutmap.Graph) (*diag.Report, error) {
+	r := &diag.Report{}
+	u := fault.Enumerate(g, len(model.Feedback))
+	r.Add(u.Lint(g)...)
+
+	fp, err := plan.CompileOpts(model, plan.Options{DisableArenaReuse: true})
+	if err != nil {
+		return nil, fmt.Errorf("irlint: lowering fault plan: %w", err)
+	}
+	ov, err := fault.NewOverlay(model, g, -1)
+	if err != nil {
+		return nil, fmt.Errorf("irlint: compiling fault overlay: %w", err)
+	}
+	lane := 1
+	for _, ci := range u.SimulatedClasses() {
+		if err := ov.AddFault(u.Classes[ci].Rep, lane); err != nil {
+			return nil, fmt.Errorf("irlint: compiling fault overlay: %w", err)
+		}
+		lane++
+	}
+	r.Add(ov.Lint(fp, lane)...)
 	return r, nil
 }
 
@@ -186,6 +215,16 @@ func Check(nl *netlist.Netlist, opts Options) (*nn.Model, *diag.Report, error) {
 		return nil, report, err
 	}
 	report.Add(planReport.Diags...)
+	if report.HasErrors() {
+		report.Sort()
+		return nil, report, nil
+	}
+
+	faultReport, err := Faults(model, m.Graph)
+	if err != nil {
+		return nil, report, err
+	}
+	report.Add(faultReport.Diags...)
 	report.Sort()
 	if report.HasErrors() {
 		return nil, report, nil

@@ -42,11 +42,12 @@ func Build(nl *netlist.Netlist, m *lutmap.Mapping, opts BuildOptions) (*Model, e
 	}
 
 	var net *Network
+	var tr *Trace
 	var err error
 	if opts.Merge {
-		net, err = buildMerged(g, polys, byLevel)
+		net, tr, err = buildMerged(g, polys, byLevel)
 	} else {
-		net, err = buildUnmerged(g, polys, byLevel)
+		net, tr, err = buildUnmerged(g, polys, byLevel)
 	}
 	if err != nil {
 		return nil, err
@@ -61,6 +62,7 @@ func Build(nl *netlist.Netlist, m *lutmap.Mapping, opts BuildOptions) (*Model, e
 		L:           opts.L,
 		GateCount:   int64(nl.GateCount()),
 		Merged:      opts.Merge,
+		Trace:       tr,
 	}
 	if err := bindPorts(model, nl, m); err != nil {
 		return nil, err
@@ -101,10 +103,11 @@ func (r *rowAccum) emit(row int32, entries *[]tensor.Triple) {
 // per computation-graph level (rows are polynomial terms, with each
 // input's exact linear form substituted in — the weight product of
 // Fig. 5) plus one final exact linear output layer.
-func buildMerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Network, error) {
+func buildMerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Network, *Trace, error) {
 	net := &Network{NumPIs: g.NumPIs}
 	units := int32(1 + g.NumPIs)
 	lf := make([]linform, len(g.LUTs))
+	tr := newTrace(g, byLevel)
 
 	for level := 1; level < len(byLevel); level++ {
 		luts := byLevel[level]
@@ -150,13 +153,20 @@ func buildMerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Network,
 				f.coefs = append(f.coefs, term.Coeff)
 			}
 			lf[u] = f
+			lt := &tr.LUTs[u]
+			lt.TermUnits = termUnits
+			lt.TermMasks = termMasks(terms)
+			lt.Cst = f.cst
+			lt.VUnits = f.units
+			lt.VCoefs = f.coefs
 		}
 		w, err := tensor.FromTriples(int(row), int(segStart), entries)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		net.Layers = append(net.Layers, Layer{W: w, Bias: biases, Threshold: true})
 		net.SegStart = append(net.SegStart, segStart)
+		tr.LayerOfLevel[level] = int32(len(net.Layers) - 1)
 		units += row
 	}
 
@@ -180,23 +190,24 @@ func buildMerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Network,
 	}
 	w, err := tensor.FromTriples(len(g.Outputs), int(segStart), entries)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	net.Layers = append(net.Layers, Layer{W: w, Threshold: false})
 	net.SegStart = append(net.SegStart, segStart)
 	units += int32(len(g.Outputs))
 	net.TotalUnits = int(units)
-	return net, nil
+	return net, tr, nil
 }
 
 // buildUnmerged constructs the explicit Fig. 2 alternation: a threshold
 // hidden layer (terms, unit weights, bias |S|−1) followed by an exact
 // linear layer materialising each LUT's signal, per level, plus the
 // output layer. Twice the depth of the merged network (§III-D).
-func buildUnmerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Network, error) {
+func buildUnmerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Network, *Trace, error) {
 	net := &Network{NumPIs: g.NumPIs}
 	units := int32(1 + g.NumPIs)
 	signalUnit := make([]int32, len(g.LUTs))
+	tr := newTrace(g, byLevel)
 
 	refUnit := func(r lutmap.NodeRef) int32 {
 		if r.IsPI() {
@@ -234,13 +245,16 @@ func buildUnmerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Networ
 				hidRow++
 			}
 			termUnits[u] = tu
+			tr.LUTs[u].TermUnits = tu
+			tr.LUTs[u].TermMasks = termMasks(terms)
 		}
 		hw, err := tensor.FromTriples(int(hidRow), int(hidStart), hidEntries)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		net.Layers = append(net.Layers, Layer{W: hw, Bias: biases, Threshold: true})
 		net.SegStart = append(net.SegStart, hidStart)
+		tr.LayerOfLevel[level] = int32(len(net.Layers) - 1)
 		units += hidRow
 
 		// Exact linear layer: one neuron per LUT signal.
@@ -257,10 +271,14 @@ func buildUnmerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Networ
 					Row: row, Col: termUnits[u][ti], Val: float32(term.Coeff)})
 			}
 			signalUnit[u] = linStart + row
+			lt := &tr.LUTs[u]
+			lt.Cst = 0
+			lt.VUnits = []int32{signalUnit[u]}
+			lt.VCoefs = []int32{1}
 		}
 		lw, err := tensor.FromTriples(len(luts), int(linStart), linEntries)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		net.Layers = append(net.Layers, Layer{W: lw, Threshold: false})
 		net.SegStart = append(net.SegStart, linStart)
@@ -275,13 +293,40 @@ func buildUnmerged(g *lutmap.Graph, polys []poly.Poly, byLevel [][]int) (*Networ
 	}
 	w, err := tensor.FromTriples(len(g.Outputs), int(segStart), entries)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	net.Layers = append(net.Layers, Layer{W: w, Threshold: false})
 	net.SegStart = append(net.SegStart, segStart)
 	units += int32(len(g.Outputs))
 	net.TotalUnits = int(units)
-	return net, nil
+	return net, tr, nil
+}
+
+// newTrace allocates the provenance record with per-LUT levels filled
+// in and every level layer unknown.
+func newTrace(g *lutmap.Graph, byLevel [][]int) *Trace {
+	tr := &Trace{
+		LayerOfLevel: make([]int32, len(byLevel)),
+		LUTs:         make([]LUTTrace, len(g.LUTs)),
+	}
+	for l := range tr.LayerOfLevel {
+		tr.LayerOfLevel[l] = -1
+	}
+	for level, luts := range byLevel {
+		for _, u := range luts {
+			tr.LUTs[u].Level = int32(level)
+		}
+	}
+	return tr
+}
+
+// termMasks extracts the variable-set masks of the non-constant terms.
+func termMasks(terms []poly.Term) []uint32 {
+	masks := make([]uint32, len(terms))
+	for i, t := range terms {
+		masks[i] = t.Mask
+	}
+	return masks
 }
 
 // bindPorts fills the model's port maps and flip-flop feedback from the

@@ -138,6 +138,32 @@ type Feedback struct {
 	Init     bool
 }
 
+// LUTTrace records where one mapped LUT landed in the built network:
+// the hidden units realising its polynomial terms and the exact linear
+// form of its output value. TermUnits[i] is the threshold neuron of the
+// non-constant term with variable set TermMasks[i] (a bitmask over the
+// LUT's input pins); the LUT's value is Cst + Σ VCoefs[i]·VUnits[i]
+// over binary unit activations. In merged networks the value form spans
+// the term units directly (the signal is never materialised); unmerged
+// networks point at the materialised signal unit with coefficient 1.
+type LUTTrace struct {
+	Level     int32
+	TermUnits []int32
+	TermMasks []uint32
+	Cst       int32
+	VUnits    []int32
+	VCoefs    []int32
+}
+
+// Trace is the LUT→network provenance recorded by Build — the hook the
+// fault-injection subsystem uses to force a LUT's behaviour per batch
+// lane. LayerOfLevel[l] is the network layer whose rows are the term
+// units of computation-graph level l (-1 for levels with no LUTs).
+type Trace struct {
+	LayerOfLevel []int32
+	LUTs         []LUTTrace
+}
+
 // Model is a compiled circuit: the network plus the port and feedback
 // metadata needed to simulate it, and the provenance recorded for
 // throughput accounting.
@@ -151,6 +177,11 @@ type Model struct {
 	L           int   // LUT size used during mapping
 	GateCount   int64 // gates incl. flip-flops, Table I's size metric
 	Merged      bool
+
+	// Trace is the LUT provenance of the build. It is not serialised:
+	// models loaded from .c2nn files carry a nil Trace and cannot be
+	// fault-injected.
+	Trace *Trace
 }
 
 // FindInput returns the input port map with the given name, or nil.

@@ -71,6 +71,20 @@ type Options struct {
 	Workers int
 	// Precision selects the execution substrate.
 	Precision Precision
+	// KeepAllActivations compiles the plan without activation-arena
+	// reuse, so every unit's value survives until the end of the
+	// forward pass. Required for fault-injection overlays (WithFaults),
+	// which read and rewrite unit activations between layers.
+	KeepAllActivations bool
+}
+
+// Overlay is a per-lane state edit interposed between plan layers — the
+// fault-injection hook. Apply is called with layer == -1 before the
+// first layer of a forward pass and then once after each layer li
+// completes; it may read and write unit activations through PeekUnit
+// and PokeUnit.
+type Overlay interface {
+	Apply(e *Engine, layer int)
 }
 
 // Engine runs a model over a fixed-size stimulus batch with persistent
@@ -83,6 +97,8 @@ type Engine struct {
 	batch   int
 	workers int
 	prec    Precision
+	keepAll bool
+	overlay Overlay
 	close   sync.Once
 }
 
@@ -107,7 +123,7 @@ func New(model *nn.Model, opts Options) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("simengine: unknown precision %d", opts.Precision)
 	}
-	p, err := plan.Compile(model)
+	p, err := plan.CompileOpts(model, plan.Options{DisableArenaReuse: opts.KeepAllActivations})
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +141,7 @@ func New(model *nn.Model, opts Options) (*Engine, error) {
 		batch:   opts.Batch,
 		workers: opts.Workers,
 		prec:    opts.Precision,
+		keepAll: opts.KeepAllActivations,
 	}
 	runtime.SetFinalizer(e, func(e *Engine) { e.Close() })
 	e.Reset()
@@ -218,10 +235,45 @@ func (e *Engine) SetInputBits(name string, laneIdx int, bits []bool) error {
 	return nil
 }
 
+// WithFaults installs (or, with nil, removes) a fault-injection
+// overlay: per-lane state edits interposed between plan layers of every
+// subsequent Forward. The engine must have been created with
+// KeepAllActivations, otherwise arena-slot reuse could recycle the
+// units the overlay touches mid-pass.
+func (e *Engine) WithFaults(o Overlay) error {
+	if o != nil && !e.keepAll {
+		return errors.New("simengine: WithFaults needs an engine with KeepAllActivations")
+	}
+	e.overlay = o
+	return nil
+}
+
+// PeekUnit reads one lane of a network unit's activation (unit space,
+// translated through the plan's slot map).
+func (e *Engine) PeekUnit(unit int32, lane int) bool {
+	return e.be.Get(e.plan.Slot[unit], lane)
+}
+
+// PokeUnit writes one lane of a network unit's activation. Writes to
+// units a later layer reads only persist under KeepAllActivations.
+func (e *Engine) PokeUnit(unit int32, lane int, v bool) {
+	e.be.Set(e.plan.Slot[unit], lane, v)
+}
+
 // Forward runs one combinational pass: every plan layer's fused kernel
-// on the engine's backend.
+// on the engine's backend. With an overlay installed the pass runs
+// layer by layer, applying the overlay before the first layer (layer
+// -1) and after each completed layer.
 func (e *Engine) Forward() {
-	e.be.Forward()
+	if e.overlay == nil {
+		e.be.Forward()
+		return
+	}
+	e.overlay.Apply(e, -1)
+	for li := range e.plan.Layers {
+		e.be.RunLayer(li)
+		e.overlay.Apply(e, li)
+	}
 }
 
 // LatchFeedback copies every flip-flop D value back to its Q input slot

@@ -17,6 +17,7 @@
 package testbench
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -134,19 +135,53 @@ type Result struct {
 	Applied int
 }
 
+// RunOptions generalises script execution beyond plain assertion runs.
+type RunOptions struct {
+	// Uniform drives every batch lane with the first value of each set
+	// directive instead of the per-lane spread — fault-coverage grading
+	// needs identical stimuli on the golden and every faulty lane.
+	Uniform bool
+	// Observer, when non-nil, replaces expect/expect_all assertions:
+	// it is called once per expectation, after the engine has settled,
+	// with the directive's line number and port name. Returning an
+	// error aborts the run.
+	Observer func(line int, port string) error
+	// Trace, when non-nil, is called after every explicit clock step
+	// and eval with a monotone sample index — the VCD capture hook.
+	Trace func(sample int) error
+}
+
 // Run executes the script against an engine. The first failed
 // expectation aborts with an error naming the script line.
 func (s *Script) Run(eng *simengine.Engine) (Result, error) {
+	return s.RunOpts(eng, RunOptions{})
+}
+
+// RunOpts executes the script with the given options.
+func (s *Script) RunOpts(eng *simengine.Engine, opts RunOptions) (Result, error) {
 	var res Result
 	batch := eng.Batch()
 	settled := false
+	sample := 0
+
+	trace := func() error {
+		if opts.Trace == nil {
+			return nil
+		}
+		err := opts.Trace(sample)
+		sample++
+		return err
+	}
 
 	expand := func(values []uint64) []uint64 {
 		out := make([]uint64, batch)
 		for b := 0; b < batch; b++ {
-			if b < len(values) {
+			switch {
+			case opts.Uniform:
+				out[b] = values[0]
+			case b < len(values):
 				out[b] = values[b]
-			} else {
+			default:
 				out[b] = values[len(values)-1]
 			}
 		}
@@ -154,6 +189,10 @@ func (s *Script) Run(eng *simengine.Engine) (Result, error) {
 	}
 
 	for _, d := range s.Directives {
+		if (d.Op == OpSet || d.Op == OpExpect) && len(d.Values) > batch {
+			return res, fmt.Errorf("line %d: %d values for a batch of %d lanes",
+				d.Line, len(d.Values), batch)
+		}
 		switch d.Op {
 		case OpSet:
 			if err := eng.SetInput(d.Port, expand(d.Values)); err != nil {
@@ -165,11 +204,17 @@ func (s *Script) Run(eng *simengine.Engine) (Result, error) {
 			for i := 0; i < d.Count; i++ {
 				eng.Step()
 				res.Steps++
+				if err := trace(); err != nil {
+					return res, fmt.Errorf("line %d: %v", d.Line, err)
+				}
 			}
 			settled = false
 		case OpEval:
 			eng.Forward()
 			settled = true
+			if err := trace(); err != nil {
+				return res, fmt.Errorf("line %d: %v", d.Line, err)
+			}
 		case OpReset:
 			eng.Reset()
 			settled = false
@@ -178,14 +223,41 @@ func (s *Script) Run(eng *simengine.Engine) (Result, error) {
 				eng.Forward()
 				settled = true
 			}
-			got, err := eng.GetOutput(d.Port)
-			if err != nil {
-				return res, fmt.Errorf("line %d: %v", d.Line, err)
+			if opts.Observer != nil {
+				res.Checks++
+				if err := opts.Observer(d.Line, d.Port); err != nil {
+					return res, fmt.Errorf("line %d: %v", d.Line, err)
+				}
+				continue
 			}
 			want := expand(d.Values)
 			lanes := len(d.Values)
 			if d.Op == OpExpectAll {
 				lanes = batch
+			}
+			got, err := eng.GetOutput(d.Port)
+			if err != nil {
+				if !errors.Is(err, simengine.ErrWidePort) {
+					return res, fmt.Errorf("line %d: %v", d.Line, err)
+				}
+				// Ports wider than 64 bits: compare per lane, bit by
+				// bit; the uint64 expectation covers the low 64 bits
+				// and every higher bit must be 0.
+				for b := 0; b < lanes && b < batch; b++ {
+					bits, err := eng.GetOutputBits(d.Port, b)
+					if err != nil {
+						return res, fmt.Errorf("line %d: %v", d.Line, err)
+					}
+					res.Checks++
+					for i, bit := range bits {
+						wantBit := i < 64 && want[b]>>uint(i)&1 == 1
+						if bit != wantBit {
+							return res, fmt.Errorf("line %d: %s lane %d bit %d = %v, want %v (port is %d bits wide)",
+								d.Line, d.Port, b, i, b2u(bit), b2u(wantBit), len(bits))
+						}
+					}
+				}
+				continue
 			}
 			for b := 0; b < lanes && b < batch; b++ {
 				res.Checks++
@@ -197,4 +269,11 @@ func (s *Script) Run(eng *simengine.Engine) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+func b2u(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
