@@ -24,6 +24,7 @@
 //	                    activation-arena liveness
 //	internal/exec/backend  float32 / int32 / bit-packed execution substrates
 //	internal/simengine  batched execution engine (facade over plan + backend)
+//	internal/obs        observability: spans, metrics, Chrome-trace export
 //	internal/circuits   the six Table I benchmark designs
 //	internal/bench      experiment harness (Table I, Fig. 4, Fig. 6, ablations)
 //	internal/vcd        VCD waveform writer
@@ -42,8 +43,10 @@ import (
 	"c2nn/internal/lutmap"
 	"c2nn/internal/netlist"
 	"c2nn/internal/nn"
+	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 	"c2nn/internal/synth"
+	"c2nn/internal/verilog"
 )
 
 // Re-exported core types.
@@ -68,7 +71,19 @@ type (
 	Diagnostic = diag.Diagnostic
 	// LintRule describes one registered irlint rule.
 	LintRule = diag.Rule
+	// Trace is the observability sink: hierarchical spans over compile
+	// stages and engine kernels, plus counters, gauges and histograms.
+	// Export recorded data with WriteChromeTrace (chrome://tracing /
+	// Perfetto) or WriteMetricsJSON / WriteMetricsText. See
+	// docs/OBSERVABILITY.md.
+	Trace = obs.Trace
 )
+
+// NewTrace creates an observability sink. Pass it via Options.Trace to
+// record per-stage compile spans and via EngineOptions.Trace to record
+// per-layer kernel spans and engine metrics. A nil *Trace disables all
+// recording at the cost of a single branch per hook.
+func NewTrace() *Trace { return obs.New() }
 
 // Engine precisions: the paper's float32 baseline, exact integer
 // kernels, and the bit-packed substrate carrying 64 stimulus lanes per
@@ -100,6 +115,10 @@ type Options struct {
 	// boundary during compilation and fails on the first stage that
 	// reports an Error-severity diagnostic.
 	Check bool
+	// Trace, when non-nil, records one span per compile stage (parse,
+	// elaborate, aig, cuts, tables, normalize, poly, network, plan, …)
+	// with IR-size attributes. Nil disables recording.
+	Trace *obs.Trace
 }
 
 func (o Options) lintOptions() irlint.Options {
@@ -121,34 +140,50 @@ func (o *Options) fill() {
 // neural-network model.
 func CompileVerilog(sources map[string]string, opts Options) (*Model, error) {
 	opts.fill()
-	nl, err := synth.ElaborateSource(opts.Top, sources)
+	csp := opts.Trace.Begin("compile")
+	defer csp.End()
+	psp := opts.Trace.Begin("parse")
+	design, err := verilog.BuildDesign(sources, nil)
 	if err != nil {
 		return nil, err
 	}
+	psp.SetInt("modules", int64(len(design.Modules))).End()
+	esp := opts.Trace.Begin("elaborate")
+	nl, err := synth.Elaborate(design, synth.Options{
+		Top:      opts.Top,
+		Optimize: true,
+		Trace:    opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	esp.SetInt("gates", int64(nl.NumGates())).
+		SetInt("ffs", int64(nl.NumFFs())).
+		SetInt("nets", int64(nl.NumNets())).End()
 	return compileNetlist(nl, opts)
 }
 
 // CompileBenchmark compiles one of the built-in Table I circuits
 // ("AES", "SHA", "SPI", "UART", "DMA", "RISC-V interface").
 func CompileBenchmark(name string, opts Options) (*Model, error) {
-	opts.fill()
 	c, err := circuits.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	nl, err := c.Elaborate()
-	if err != nil {
-		return nil, err
+	if opts.Top == "" {
+		opts.Top = c.Top
 	}
-	return compileNetlist(nl, opts)
+	return CompileVerilog(c.Generate(), opts)
 }
 
 func compileNetlist(nl *netlist.Netlist, opts Options) (*Model, error) {
 	if opts.Check {
+		lsp := opts.Trace.Begin("lint")
 		model, report, err := irlint.Check(nl, opts.lintOptions())
 		if err != nil {
 			return nil, err
 		}
+		lsp.SetInt("diagnostics", int64(len(report.Diags))).End()
 		if report.HasErrors() {
 			return nil, fmt.Errorf("lint: %s (%d errors)", report.FirstError(), report.Counts().Errors)
 		}
@@ -158,18 +193,20 @@ func compileNetlist(nl *netlist.Netlist, opts Options) (*Model, error) {
 	if opts.FlowMap {
 		alg = lutmap.FlowMap
 	}
-	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: opts.L, Algorithm: alg})
+	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: opts.L, Algorithm: alg, Trace: opts.Trace})
 	if err != nil {
 		return nil, err
 	}
 	if opts.CoalesceWide > 0 {
+		wsp := opts.Trace.Begin("coalesce")
 		g, err := lutmap.Coalesce(m.Graph, opts.CoalesceWide)
 		if err != nil {
 			return nil, err
 		}
+		wsp.SetInt("luts", int64(len(g.LUTs))).End()
 		m.Graph = g
 	}
-	return nn.Build(nl, m, nn.BuildOptions{Merge: !opts.NoMerge, L: opts.L})
+	return nn.Build(nl, m, nn.BuildOptions{Merge: !opts.NoMerge, L: opts.L, BuildTrace: opts.Trace})
 }
 
 // NewEngine creates a batched simulation engine for a model.

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"c2nn/internal/bench"
+	"c2nn/internal/obs"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		batch     = flag.Int("batch", 256, "NN stimulus batch size")
 		minMs     = flag.Int("min-ms", 300, "per-measurement time floor in milliseconds")
 		verifyC   = flag.Int("verify-cycles", 16, "equivalence-check cycles per Table I row (0 skips)")
+		tracePath = flag.String("trace", "", "record a Chrome trace of the run to this file (chrome://tracing)")
 		quiet     = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
@@ -50,6 +52,20 @@ func main() {
 	progress := os.Stderr
 	if *quiet {
 		progress = nil
+	}
+	var tr *obs.Trace
+	if *tracePath != "" {
+		tr = obs.New()
+		defer func() {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := tr.WriteChromeTrace(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	ran := false
 
@@ -59,6 +75,7 @@ func main() {
 		cfg.Batch = *batch
 		cfg.MinMeasure = time.Duration(*minMs) * time.Millisecond
 		cfg.VerifyCycles = *verifyC
+		cfg.Trace = tr
 		if *lsF != "" {
 			cfg.Ls = nil
 			for _, s := range strings.Split(*lsF, ",") {
@@ -116,6 +133,7 @@ func main() {
 		cfg := bench.DefaultBackendsConfig()
 		cfg.Batch = *batch
 		cfg.MinMeasure = time.Duration(*minMs) * time.Millisecond
+		cfg.Trace = tr
 		var names []string
 		if *circuitsF != "" {
 			for _, s := range strings.Split(*circuitsF, ",") {
@@ -148,6 +166,7 @@ func main() {
 	if *faults || *all {
 		ran = true
 		cfg := bench.DefaultFaultsConfig()
+		cfg.Trace = tr
 		var names []string
 		if *circuitsF != "" {
 			for _, s := range strings.Split(*circuitsF, ",") {

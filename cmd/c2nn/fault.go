@@ -14,6 +14,7 @@ import (
 	"c2nn/internal/lutmap"
 	"c2nn/internal/netlist"
 	"c2nn/internal/nn"
+	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 	"c2nn/internal/synth"
 	"c2nn/internal/testbench"
@@ -54,6 +55,7 @@ func runFault(args []string) error {
 		flowmap  = fs.Bool("flowmap", false, "use the FlowMap depth-optimal mapper instead of priority cuts")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
 		outPath  = fs.String("o", "", "write the report to this file instead of stdout")
+		traceOut = fs.String("trace", "", "write a Chrome trace of the grading run to this file (chrome://tracing)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: c2nn fault [-circuit name | file.v ...] [-tb script.tb] [-random n] [-backend b] [-json]")
@@ -102,6 +104,10 @@ func runFault(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.New()
+	}
 	rep, err := fault.Grade(model, g, u, script, fault.Config{
 		Precision:    prec,
 		Batch:        *batch,
@@ -109,9 +115,15 @@ func runFault(args []string) error {
 		SEUForward:   *seuAt,
 		RandomCycles: *random,
 		Seed:         *seed,
+		Trace:        tr,
 	})
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		if err := writeFileWith(*traceOut, tr.WriteChromeTrace); err != nil {
+			return err
+		}
 	}
 
 	w := os.Stdout

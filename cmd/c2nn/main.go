@@ -10,6 +10,7 @@
 //	c2nn lint -circuit AES -L 4 -json
 //	c2nn fault -tb testbenches/uart_smoke.tb -backend bitpacked -json
 //	c2nn fault -circuit SPI -random 64 -limit 2000
+//	c2nn profile -circuit UART -backend bitpacked -trace trace.json
 //
 // Flags:
 //
@@ -25,7 +26,9 @@
 // The lint subcommand runs the cross-stage verifier without writing a
 // model; see "c2nn lint -h". The fault subcommand grades stuck-at/SEU
 // fault coverage on the batched engine; see "c2nn fault -h" and
-// docs/FAULT.md.
+// docs/FAULT.md. The profile subcommand compiles and runs a circuit
+// with the observability sink attached, exporting Chrome traces and
+// metrics; see "c2nn profile -h" and docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -119,6 +122,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "fault" {
 		if err := runFault(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "c2nn fault:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		if err := runProfile(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "c2nn profile:", err)
 			os.Exit(1)
 		}
 		return

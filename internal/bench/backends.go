@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"c2nn/internal/circuits"
+	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 )
 
@@ -32,6 +33,9 @@ type BackendsConfig struct {
 	Workers    int // 0 = GOMAXPROCS
 	MinMeasure time.Duration
 	Seed       int64
+	// Trace, when non-nil, records compile-stage and per-measurement
+	// spans for the whole comparison run.
+	Trace *obs.Trace
 }
 
 // DefaultBackendsConfig compares at the paper's L values with a batch
@@ -69,7 +73,8 @@ func RunBackends(names []string, cfg BackendsConfig, progress io.Writer) ([]Back
 	var rows []BackendRow
 	for _, c := range list {
 		for _, l := range cfg.Ls {
-			res, err := Compile(c, l, true)
+			bsp := cfg.Trace.Begin(fmt.Sprintf("bench %s L=%d", c.Name, l))
+			res, err := CompileTraced(c, l, true, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -77,7 +82,7 @@ func RunBackends(names []string, cfg BackendsConfig, progress io.Writer) ([]Back
 			row := BackendRow{Circuit: c.Name, L: l,
 				Gates: res.Netlist.GateCount(), Batch: cfg.Batch}
 			for _, p := range []simengine.Precision{simengine.Float32, simengine.Int32, simengine.BitPacked} {
-				gcs, err := NNThroughput(res, stim, cfg.Batch, cfg.Workers, p, cfg.MinMeasure)
+				gcs, err := NNThroughputTraced(res, stim, cfg.Batch, cfg.Workers, p, cfg.MinMeasure, cfg.Trace)
 				if err != nil {
 					return nil, fmt.Errorf("%s L=%d %s: %w", c.Name, l, p, err)
 				}
@@ -95,6 +100,7 @@ func RunBackends(names []string, cfg BackendsConfig, progress io.Writer) ([]Back
 			}
 			logf("[%s] L=%-2d float32=%.3g int32=%.3g bitpacked=%.3g (packed x%.1f)",
 				c.Name, l, row.Float32GCS, row.Int32GCS, row.BitPackedGCS, row.PackedSpeedup)
+			bsp.End()
 			rows = append(rows, row)
 		}
 	}
@@ -117,15 +123,17 @@ func FormatBackends(rows []BackendRow) string {
 }
 
 // backendsJSON is the machine-readable envelope of WriteBackendsJSON,
-// the CI interchange format of the short-benchmark job.
+// the CI interchange format of the short-benchmark job. Meta records
+// the run environment so archived results stay comparable.
 type backendsJSON struct {
+	Meta  Meta         `json:"meta"`
 	Batch int          `json:"batch"`
 	Rows  []BackendRow `json:"rows"`
 }
 
 // WriteBackendsJSON writes the comparison as indented JSON.
 func WriteBackendsJSON(w io.Writer, rows []BackendRow) error {
-	env := backendsJSON{Rows: rows}
+	env := backendsJSON{Meta: CollectMeta(), Rows: rows}
 	if len(rows) > 0 {
 		env.Batch = rows[0].Batch
 	}

@@ -15,7 +15,10 @@ import (
 	"c2nn/internal/lutmap"
 	"c2nn/internal/netlist"
 	"c2nn/internal/nn"
+	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
+	"c2nn/internal/synth"
+	"c2nn/internal/verilog"
 )
 
 // CompileResult carries everything produced by one pipeline run.
@@ -35,20 +38,39 @@ type CompileResult struct {
 // source to the stored-model-ready network, matching the "Generation
 // Time" column of Table I.
 func Compile(c circuits.Circuit, l int, merge bool) (*CompileResult, error) {
+	return CompileTraced(c, l, merge, nil)
+}
+
+// CompileTraced is Compile with an observability sink: every pipeline
+// stage records a span (parse, elaborate, aig, cuts, tables, poly,
+// network, …). A nil trace is Compile.
+func CompileTraced(c circuits.Circuit, l int, merge bool, tr *obs.Trace) (*CompileResult, error) {
 	start := time.Now()
-	nl, err := c.Elaborate()
+	csp := tr.Begin("compile").SetStr("circuit", c.Name).SetInt("l", int64(l))
+	psp := tr.Begin("parse")
+	design, err := verilog.BuildDesign(c.Generate(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", c.Name, err)
+	}
+	psp.SetInt("modules", int64(len(design.Modules))).End()
+	esp := tr.Begin("elaborate")
+	nl, err := synth.Elaborate(design, synth.Options{Top: c.Top, Optimize: true, Trace: tr})
 	if err != nil {
 		return nil, fmt.Errorf("elaborate %s: %w", c.Name, err)
 	}
+	esp.SetInt("gates", int64(nl.NumGates())).
+		SetInt("ffs", int64(nl.NumFFs())).
+		SetInt("nets", int64(nl.NumNets())).End()
 	synthDone := time.Now()
-	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: l})
+	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: l, Trace: tr})
 	if err != nil {
 		return nil, fmt.Errorf("map %s at L=%d: %w", c.Name, l, err)
 	}
-	model, err := nn.Build(nl, m, nn.BuildOptions{Merge: merge, L: l})
+	model, err := nn.Build(nl, m, nn.BuildOptions{Merge: merge, L: l, BuildTrace: tr})
 	if err != nil {
 		return nil, fmt.Errorf("build NN for %s at L=%d: %w", c.Name, l, err)
 	}
+	csp.End()
 	genTime := time.Since(start)
 
 	prog, err := gatesim.Compile(nl)
@@ -176,12 +198,27 @@ func Batch64Throughput(prog *gatesim.Program, stim *StimulusSet, minTime time.Du
 // gates·cycles/s across all lanes.
 func NNThroughput(res *CompileResult, stim *StimulusSet, batch, workers int,
 	prec simengine.Precision, minTime time.Duration) (float64, error) {
+	return NNThroughputTraced(res, stim, batch, workers, prec, minTime, nil)
+}
+
+// NNThroughputTraced is NNThroughput with an observability sink: the
+// timed region records a "measure" span and the engine records its
+// forward/kernel spans and dispatch counters. A nil trace is
+// NNThroughput.
+func NNThroughputTraced(res *CompileResult, stim *StimulusSet, batch, workers int,
+	prec simengine.Precision, minTime time.Duration, tr *obs.Trace) (float64, error) {
 	eng, err := simengine.New(res.Model, simengine.Options{
-		Batch: batch, Workers: workers, Precision: prec,
+		Batch: batch, Workers: workers, Precision: prec, Trace: tr,
 	})
 	if err != nil {
 		return 0, err
 	}
+	defer eng.Close()
+	msp := tr.Begin("measure").
+		SetStr("circuit", res.Circuit.Name).
+		SetStr("backend", prec.String()).
+		SetInt("batch", int64(batch))
+	defer msp.End()
 	gates := res.Model.GateCount
 	cycles := 0
 	start := time.Now()

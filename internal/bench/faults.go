@@ -8,6 +8,7 @@ import (
 
 	"c2nn/internal/circuits"
 	"c2nn/internal/fault"
+	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 )
 
@@ -36,6 +37,9 @@ type FaultsConfig struct {
 	Batch  int
 	Cycles int
 	Seed   int64
+	// Trace, when non-nil, records compile-stage and fault.grade/round
+	// spans for the whole grading benchmark.
+	Trace *obs.Trace
 }
 
 // DefaultFaultsConfig grades at L=4 with a full packed word of lanes
@@ -69,7 +73,7 @@ func RunFaults(names []string, cfg FaultsConfig, progress io.Writer) ([]FaultRow
 	var rows []FaultRow
 	for _, c := range list {
 		for _, l := range cfg.Ls {
-			res, err := Compile(c, l, true)
+			res, err := CompileTraced(c, l, true, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -83,6 +87,7 @@ func RunFaults(names []string, cfg FaultsConfig, progress io.Writer) ([]FaultRow
 					Batch:        cfg.Batch,
 					RandomCycles: cfg.Cycles,
 					Seed:         cfg.Seed,
+					Trace:        cfg.Trace,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%s L=%d %s: %w", c.Name, l, p, err)
@@ -145,13 +150,14 @@ func FormatFaults(rows []FaultRow) string {
 
 // faultsJSON is the machine-readable envelope of WriteFaultsJSON.
 type faultsJSON struct {
+	Meta  Meta       `json:"meta"`
 	Batch int        `json:"batch"`
 	Rows  []FaultRow `json:"rows"`
 }
 
 // WriteFaultsJSON writes the fault benchmark as indented JSON.
 func WriteFaultsJSON(w io.Writer, rows []FaultRow) error {
-	env := faultsJSON{Rows: rows}
+	env := faultsJSON{Meta: CollectMeta(), Rows: rows}
 	if len(rows) > 0 {
 		env.Batch = rows[0].Batch
 	}

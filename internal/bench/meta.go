@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Meta identifies the machine and build a benchmark run came from, so
+// archived -json results stay comparable. GitDescribe is best-effort:
+// empty when git is unavailable or the tree is not a repository.
+type Meta struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Timestamp   string `json:"timestamp"`
+	GitDescribe string `json:"git_describe,omitempty"`
+}
+
+// CollectMeta snapshots the run environment.
+func CollectMeta() Meta {
+	m := Meta{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "describe", "--always", "--dirty").Output(); err == nil {
+		m.GitDescribe = strings.TrimSpace(string(out))
+	}
+	return m
+}

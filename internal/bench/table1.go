@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"c2nn/internal/circuits"
+	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 )
 
@@ -36,6 +37,9 @@ type Table1Config struct {
 	MinMeasure   time.Duration // per-measurement time floor
 	VerifyCycles int           // equivalence-check cycles (0 to skip)
 	Seed         int64
+	// Trace, when non-nil, records compile-stage and per-measurement
+	// spans for the whole Table I run.
+	Trace *obs.Trace
 }
 
 // DefaultTable1Config mirrors the paper's sweep.
@@ -74,7 +78,7 @@ func RunTable1(names []string, cfg Table1Config, progress io.Writer) ([]Table1Ro
 	for _, c := range list {
 		logf("[%s] elaborating…", c.Name)
 		// Baseline once per circuit (independent of L).
-		first, err := Compile(c, cfg.Ls[0], true)
+		first, err := CompileTraced(c, cfg.Ls[0], true, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +89,7 @@ func RunTable1(names []string, cfg Table1Config, progress io.Writer) ([]Table1Ro
 		for _, l := range cfg.Ls {
 			res := first
 			if l != first.L {
-				res, err = Compile(c, l, true)
+				res, err = CompileTraced(c, l, true, cfg.Trace)
 				if err != nil {
 					return nil, err
 				}
@@ -109,12 +113,12 @@ func RunTable1(names []string, cfg Table1Config, progress io.Writer) ([]Table1Ro
 				}
 				row.VerifiedEquiv = true
 			}
-			gcs, err := NNThroughput(res, stim, cfg.Batch, cfg.Workers, simengine.Float32, cfg.MinMeasure)
+			gcs, err := NNThroughputTraced(res, stim, cfg.Batch, cfg.Workers, simengine.Float32, cfg.MinMeasure, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}
 			row.NNGCS = gcs
-			bpGCS, err := NNThroughput(res, stim, cfg.Batch, cfg.Workers, simengine.BitPacked, cfg.MinMeasure)
+			bpGCS, err := NNThroughputTraced(res, stim, cfg.Batch, cfg.Workers, simengine.BitPacked, cfg.MinMeasure, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"c2nn/internal/exec/plan"
+	"c2nn/internal/obs"
 )
 
 // Kind selects an execution substrate.
@@ -81,18 +82,55 @@ type Backend interface {
 }
 
 // New builds a backend of the given kind over the plan. The pool may be
-// nil or single-worker, in which case layers run inline.
-func New(k Kind, p *plan.Plan, batch int, pool *Pool) (Backend, error) {
+// nil or single-worker, in which case layers run inline. A non-nil
+// trace turns on per-layer kernel spans and dispatch counters; nil
+// keeps the hot path to a single branch per layer.
+func New(k Kind, p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) (Backend, error) {
 	if batch < 1 {
 		return nil, fmt.Errorf("backend: batch must be >= 1, got %d", batch)
 	}
 	switch k {
 	case Float32:
-		return newFloat32(p, batch, pool), nil
+		return newFloat32(p, batch, pool, tr), nil
 	case Int32:
-		return newInt32(p, batch, pool), nil
+		return newInt32(p, batch, pool, tr), nil
 	case BitPacked:
-		return newBitPacked(p, batch, pool)
+		return newBitPacked(p, batch, pool, tr)
 	}
 	return nil, fmt.Errorf("backend: unknown kind %d", uint8(k))
+}
+
+// instr is the per-backend observability hook-up, shared by all three
+// substrates: pre-built per-layer span names (so the hot path never
+// formats strings) and pre-resolved dispatch counters per kernel kind.
+// The zero instr is the disabled state — beginLayer is then a single
+// nil check.
+type instr struct {
+	tr    *obs.Trace
+	names []string
+	disp  [3]*obs.Counter
+}
+
+func newInstr(tr *obs.Trace, p *plan.Plan) instr {
+	if tr == nil {
+		return instr{}
+	}
+	in := instr{tr: tr, names: make([]string, len(p.Layers))}
+	for i := range p.Layers {
+		in.names[i] = fmt.Sprintf("layer %03d %s", i, p.Layers[i].Kernel)
+	}
+	in.disp[plan.KernelLinear] = tr.Counter("exec.dispatch.linear")
+	in.disp[plan.KernelThreshold] = tr.Counter("exec.dispatch.threshold")
+	in.disp[plan.KernelUnitThreshold] = tr.Counter("exec.dispatch.unit_threshold")
+	return in
+}
+
+// beginLayer counts the dispatch and opens the layer's kernel span.
+// With no trace attached it returns the inert zero Span.
+func (in *instr) beginLayer(li int, k plan.Kernel) obs.Span {
+	if in.tr == nil {
+		return obs.Span{}
+	}
+	in.disp[k].Inc()
+	return in.tr.Begin(in.names[li])
 }

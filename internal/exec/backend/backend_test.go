@@ -51,7 +51,7 @@ func TestLaneAccessors(t *testing.T) {
 	_, p := compilePlan(t, 4, true)
 	for _, kind := range Kinds() {
 		for _, batch := range []int{1, 5, 64, 67} {
-			be, err := New(kind, p, batch, nil)
+			be, err := New(kind, p, batch, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,7 +103,7 @@ func TestForwardAgreesAcrossBackends(t *testing.T) {
 		for _, batch := range []int{5, 64, 67, 130} {
 			backends := make([]Backend, 0, 3)
 			for _, kind := range Kinds() {
-				be, err := New(kind, p, batch, nil)
+				be, err := New(kind, p, batch, nil, nil)
 				if err != nil {
 					t.Fatal(err)
 				}

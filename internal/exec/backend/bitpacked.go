@@ -2,8 +2,10 @@ package backend
 
 import (
 	"fmt"
+	"math/bits"
 
 	"c2nn/internal/exec/plan"
+	"c2nn/internal/obs"
 	"c2nn/internal/tensor"
 )
 
@@ -18,10 +20,11 @@ type bpBackend struct {
 	batch int
 	words int
 	pool  *Pool
+	in    instr
 	acts  []uint64 // ArenaUnits × words, neuron-major
 }
 
-func newBitPacked(p *plan.Plan, batch int, pool *Pool) (*bpBackend, error) {
+func newBitPacked(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) (*bpBackend, error) {
 	for li := range p.Layers {
 		l := &p.Layers[li]
 		if l.MaxPos >= 1<<tensor.MaxPlanes || l.MaxNeg >= 1<<tensor.MaxPlanes {
@@ -30,7 +33,32 @@ func newBitPacked(p *plan.Plan, batch int, pool *Pool) (*bpBackend, error) {
 		}
 	}
 	words := tensor.PackedWords(batch)
-	return &bpBackend{plan: p, batch: batch, words: words, pool: pool,
+	if tr != nil {
+		// Lane occupancy: real stimulus lanes vs the 64-per-word packing
+		// capacity (partial last words waste lanes). Plane occupancy: per
+		// layer, the bit-sliced accumulator height its row sums demand,
+		// against the MaxPlanes=48 capacity the planner enforces.
+		capLanes := int64(words) * 64
+		tr.Gauge("bp.lanes.used").Set(int64(batch))
+		tr.Gauge("bp.lanes.capacity").Set(capLanes)
+		tr.Gauge("bp.lanes.occupancy_pct").Set(100 * int64(batch) / capLanes)
+		h := tr.Histogram("bp.planes", []int64{2, 4, 8, 12, 16, 24, 32, 40, 48})
+		var maxPlanes int64
+		for li := range p.Layers {
+			l := &p.Layers[li]
+			planes := int64(bits.Len64(uint64(l.MaxPos)))
+			if n := int64(bits.Len64(uint64(l.MaxNeg))); n > planes {
+				planes = n
+			}
+			h.Observe(planes)
+			if planes > maxPlanes {
+				maxPlanes = planes
+			}
+		}
+		tr.Gauge("bp.planes.max").Set(maxPlanes)
+		tr.Gauge("bp.planes.capacity").Set(tensor.MaxPlanes)
+	}
+	return &bpBackend{plan: p, batch: batch, words: words, pool: pool, in: newInstr(tr, p),
 		acts: make([]uint64, p.ArenaUnits*words)}, nil
 }
 
@@ -44,6 +72,7 @@ func (e *bpBackend) Forward() {
 }
 
 func (e *bpBackend) RunLayer(li int) {
+	sp := e.in.beginLayer(li, e.plan.Layers[li].Kernel)
 	words := e.words
 	l := &e.plan.Layers[li]
 	w := l.WInt
@@ -57,6 +86,7 @@ func (e *bpBackend) RunLayer(li int) {
 			w.PackedThreshRange(e.acts, words, l.Thresh, out, lo, hi)
 		})
 	}
+	sp.End()
 }
 
 func (e *bpBackend) Set(slot int32, lane int, v bool) {

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"c2nn/internal/exec/plan"
+	"c2nn/internal/obs"
 )
 
 // f32Backend is the float32 substrate: one float per activation lane,
@@ -11,11 +12,12 @@ type f32Backend struct {
 	plan  *plan.Plan
 	batch int
 	pool  *Pool
+	in    instr
 	acts  []float32 // ArenaUnits × batch, neuron-major
 }
 
-func newFloat32(p *plan.Plan, batch int, pool *Pool) *f32Backend {
-	return &f32Backend{plan: p, batch: batch, pool: pool,
+func newFloat32(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) *f32Backend {
+	return &f32Backend{plan: p, batch: batch, pool: pool, in: newInstr(tr, p),
 		acts: make([]float32, p.ArenaUnits*batch)}
 }
 
@@ -29,6 +31,7 @@ func (e *f32Backend) Forward() {
 }
 
 func (e *f32Backend) RunLayer(li int) {
+	sp := e.in.beginLayer(li, e.plan.Layers[li].Kernel)
 	b := e.batch
 	l := &e.plan.Layers[li]
 	w := l.W
@@ -63,6 +66,7 @@ func (e *f32Backend) RunLayer(li int) {
 			}
 		}
 	})
+	sp.End()
 }
 
 func (e *f32Backend) Set(slot int32, lane int, v bool) {

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"c2nn/internal/exec/plan"
+	"c2nn/internal/obs"
 )
 
 // i32Backend is the exact-integer substrate: int32 lanes, integer
@@ -11,11 +12,12 @@ type i32Backend struct {
 	plan  *plan.Plan
 	batch int
 	pool  *Pool
+	in    instr
 	acts  []int32 // ArenaUnits × batch, neuron-major
 }
 
-func newInt32(p *plan.Plan, batch int, pool *Pool) *i32Backend {
-	return &i32Backend{plan: p, batch: batch, pool: pool,
+func newInt32(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) *i32Backend {
+	return &i32Backend{plan: p, batch: batch, pool: pool, in: newInstr(tr, p),
 		acts: make([]int32, p.ArenaUnits*batch)}
 }
 
@@ -29,6 +31,7 @@ func (e *i32Backend) Forward() {
 }
 
 func (e *i32Backend) RunLayer(li int) {
+	sp := e.in.beginLayer(li, e.plan.Layers[li].Kernel)
 	b := e.batch
 	l := &e.plan.Layers[li]
 	w := l.WInt
@@ -63,6 +66,7 @@ func (e *i32Backend) RunLayer(li int) {
 			}
 		}
 	})
+	sp.End()
 }
 
 func (e *i32Backend) Set(slot int32, lane int, v bool) {

@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"c2nn/internal/nn"
+	"c2nn/internal/obs"
 	"c2nn/internal/tensor"
 )
 
@@ -111,6 +112,10 @@ type Options struct {
 	// cancelled out of every weight row — liveness would recycle those
 	// slots mid-pass.
 	DisableArenaReuse bool
+	// Trace, when non-nil, records a "plan" span with lowering
+	// attributes and the arena-allocation counters
+	// (plan.arena.slots_reused / plan.arena.slots_fresh).
+	Trace *obs.Trace
 }
 
 // Compile lowers a model into an execution plan with default options.
@@ -123,6 +128,8 @@ func Compile(m *nn.Model) (*Plan, error) {
 // circuits always are) or whose row sums could overflow the bit-sliced
 // accumulator capacity.
 func CompileOpts(m *nn.Model, opts Options) (*Plan, error) {
+	sp := opts.Trace.Begin("plan")
+	defer sp.End()
 	net := m.Net
 	nLayers := len(net.Layers)
 	if len(net.SegStart) != nLayers {
@@ -216,13 +223,27 @@ func CompileOpts(m *nn.Model, opts Options) (*Plan, error) {
 	}
 
 	p := &Plan{Model: m, ArenaUnits: int(a.top), Slot: slot}
+	var kernels [3]int64
 	for li := range net.Layers {
 		l := &net.Layers[li]
 		pl, err := lowerLayer(l, li, slot, int(a.top), outSlot[li])
 		if err != nil {
 			return nil, err
 		}
+		kernels[pl.Kernel]++
 		p.Layers = append(p.Layers, pl)
+	}
+	if tr := opts.Trace; tr != nil {
+		tr.Counter("plan.arena.slots_reused").Add(a.reused)
+		tr.Counter("plan.arena.slots_fresh").Add(a.fresh)
+		sp.SetInt("layers", int64(len(p.Layers))).
+			SetInt("total_units", int64(net.TotalUnits)).
+			SetInt("arena_units", int64(p.ArenaUnits)).
+			SetInt("slots_reused", a.reused).
+			SetInt("slots_fresh", a.fresh).
+			SetInt("kernels_linear", kernels[KernelLinear]).
+			SetInt("kernels_threshold", kernels[KernelThreshold]).
+			SetInt("kernels_unit_threshold", kernels[KernelUnitThreshold])
 	}
 	return p, nil
 }
@@ -305,10 +326,14 @@ func lowerLayer(l *nn.Layer, li int, slot []int32, arenaUnits int, out int32) (L
 type blockRange struct{ start, size int32 }
 
 // arena is a first-fit block allocator over activation rows with
-// coalescing release, tracking the high-water mark.
+// coalescing release, tracking the high-water mark and how many slots
+// were served from recycled blocks versus fresh growth (the
+// observability layer's arena-reuse metric).
 type arena struct {
-	top  int32
-	free []blockRange
+	top    int32
+	free   []blockRange
+	reused int64
+	fresh  int64
 }
 
 func (a *arena) alloc(size int32) int32 {
@@ -324,11 +349,13 @@ func (a *arena) alloc(size int32) int32 {
 			if b.size == 0 {
 				a.free = append(a.free[:i], a.free[i+1:]...)
 			}
+			a.reused += int64(size)
 			return start
 		}
 	}
 	start := a.top
 	a.top += size
+	a.fresh += int64(size)
 	return start
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"c2nn/internal/lutmap"
 	"c2nn/internal/nn"
+	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 )
 
@@ -53,6 +54,17 @@ type Overlay struct {
 
 	// maxLane tracks the highest lane any op touches.
 	maxLane int
+
+	// forces counts unit writes the overlay performs (term rewrites and
+	// SEU flips); nil when uninstrumented.
+	forceCtr *obs.Counter
+}
+
+// Instrument attaches the "fault.forces" counter of the given sink to
+// the overlay, counting every unit write it performs (term-neuron
+// rewrites and SEU flips). A nil trace detaches.
+func (o *Overlay) Instrument(tr *obs.Trace) {
+	o.forceCtr = tr.Counter("fault.forces")
 }
 
 // NewOverlay prepares an empty overlay for a model built from graph g.
@@ -169,6 +181,7 @@ func (o *Overlay) Apply(e *simengine.Engine, layer int) {
 			for _, s := range o.seus {
 				e.PokeUnit(s.unit, s.lane, !e.PeekUnit(s.unit, s.lane))
 			}
+			o.forceCtr.Add(int64(len(o.seus)))
 		}
 		o.pass++
 		return
@@ -196,6 +209,7 @@ func (o *Overlay) forceTerms(e *simengine.Engine, lane int, lt *nn.LUTTrace, x u
 		m := lt.TermMasks[i]
 		e.PokeUnit(tu, lane, x&m == m)
 	}
+	o.forceCtr.Add(int64(len(lt.TermUnits)))
 }
 
 // readPins reconstructs the actual input assignment of a LUT in one

@@ -7,6 +7,7 @@ import (
 
 	"c2nn/internal/lutmap"
 	"c2nn/internal/nn"
+	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 	"c2nn/internal/testbench"
 )
@@ -30,6 +31,11 @@ type Config struct {
 	RandomCycles int
 	// Seed seeds the random stimuli.
 	Seed int64
+	// Trace, when non-nil, records a "fault.grade" root span with one
+	// "round" child per batch pass (plus the engine's forward/kernel
+	// spans underneath) and a "fault.forces" counter of overlay unit
+	// writes. Nil disables recording.
+	Trace *obs.Trace
 }
 
 // Report is the fault-coverage result of one grading run.
@@ -90,6 +96,7 @@ func Grade(model *nn.Model, g *lutmap.Graph, u *Universe, script *testbench.Scri
 		Workers:            cfg.Workers,
 		Precision:          cfg.Precision,
 		KeepAllActivations: true,
+		Trace:              cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -97,6 +104,12 @@ func Grade(model *nn.Model, g *lutmap.Graph, u *Universe, script *testbench.Scri
 	defer eng.Close()
 
 	sims := u.SimulatedClasses()
+	gsp := cfg.Trace.Begin("fault.grade").
+		SetStr("circuit", model.CircuitName).
+		SetStr("backend", cfg.Precision.String()).
+		SetInt("classes", int64(len(u.Classes))).
+		SetInt("simulated", int64(len(sims)))
+	defer gsp.End()
 	detected := make([]bool, len(u.Classes))
 	lanesPerRound := cfg.Batch - 1
 	start := time.Now()
@@ -110,11 +123,13 @@ func Grade(model *nn.Model, g *lutmap.Graph, u *Universe, script *testbench.Scri
 		}
 		chunk := sims[lo:hi]
 		rounds++
+		rsp := cfg.Trace.Begin("round").SetInt("lanes", int64(len(chunk)))
 
 		ov, err := NewOverlay(model, g, cfg.SEUForward)
 		if err != nil {
 			return nil, err
 		}
+		ov.Instrument(cfg.Trace)
 		for i, ci := range chunk {
 			if err := ov.AddFault(u.Classes[ci].Rep, i+1); err != nil {
 				return nil, err
@@ -203,6 +218,7 @@ func Grade(model *nn.Model, g *lutmap.Graph, u *Universe, script *testbench.Scri
 			return nil, err
 		}
 		cyclesPerRound = cycles
+		rsp.SetInt("cycles", int64(cycles)).End()
 	}
 	elapsed := time.Since(start)
 

@@ -6,6 +6,7 @@ import (
 
 	"c2nn/internal/aig"
 	"c2nn/internal/netlist"
+	"c2nn/internal/obs"
 	"c2nn/internal/truthtab"
 )
 
@@ -31,6 +32,11 @@ type Options struct {
 	CutsPerNode int
 	// Algorithm selects the mapper.
 	Algorithm Algorithm
+	// Trace, when non-nil, records per-stage spans of the mapping
+	// pipeline: "aig" (netlist → AIG), "cuts" (cut enumeration /
+	// labelling), "tables" (truth tables + graph build) and
+	// "normalize" (canonicalisation).
+	Trace *obs.Trace
 }
 
 func (o *Options) fill() error {
@@ -103,6 +109,7 @@ func Map(g *aig.AIG, outputs []aig.Lit, opts Options) (*Graph, error) {
 	if err := (&opts).fill(); err != nil {
 		return nil, err
 	}
+	csp := opts.Trace.Begin("cuts")
 	var bestCut [][]int32
 	var err error
 	switch opts.Algorithm {
@@ -111,12 +118,22 @@ func Map(g *aig.AIG, outputs []aig.Lit, opts Options) (*Graph, error) {
 	case FlowMap:
 		bestCut, err = flowMap(g, opts)
 		if err != nil {
+			csp.End()
 			return nil, err
 		}
 	default:
+		csp.End()
 		return nil, fmt.Errorf("lutmap: unknown algorithm %d", opts.Algorithm)
 	}
-	return buildGraph(g, outputs, bestCut, opts)
+	csp.SetInt("nodes", int64(g.NumNodes())).End()
+	tsp := opts.Trace.Begin("tables")
+	gr, err := buildGraph(g, outputs, bestCut, opts)
+	if err != nil {
+		tsp.End()
+		return nil, err
+	}
+	tsp.SetInt("luts", int64(len(gr.LUTs))).SetInt("depth", int64(gr.Depth())).End()
+	return gr, nil
 }
 
 // priorityCutMap computes, for every AND node, the chosen (depth-best)
@@ -338,7 +355,9 @@ func buildGraph(g *aig.AIG, outputs []aig.Lit, bestCut [][]int32, opts Options) 
 	}
 	// Canonicalise: prune unused cut leaves, share duplicate LUTs,
 	// sweep dead cones (lint rules LM005/LM006/LM007).
+	nsp := opts.Trace.Begin("normalize")
 	gr = Normalize(gr)
+	nsp.End()
 	if err := gr.Validate(); err != nil {
 		return nil, err
 	}
@@ -397,10 +416,14 @@ func coneTable(g *aig.AIG, root int32, leaves []int32) (truthtab.Table, error) {
 // AIG and covered with K-LUTs. The result ties graph PIs/outputs back to
 // netlist nets.
 func MapNetlist(nl *netlist.Netlist, opts Options) (*Mapping, error) {
+	msp := opts.Trace.Begin("lutmap")
+	defer msp.End()
+	asp := opts.Trace.Begin("aig")
 	g, lits, err := aig.FromNetlist(nl)
 	if err != nil {
 		return nil, err
 	}
+	asp.SetInt("nodes", int64(g.NumNodes())).End()
 
 	var piNets []netlist.NetID
 	for _, id := range nl.CombInputs() {

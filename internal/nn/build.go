@@ -6,6 +6,7 @@ import (
 
 	"c2nn/internal/lutmap"
 	"c2nn/internal/netlist"
+	"c2nn/internal/obs"
 	"c2nn/internal/poly"
 	"c2nn/internal/tensor"
 )
@@ -18,17 +19,35 @@ type BuildOptions struct {
 	Merge bool
 	// L records the LUT size used during mapping (Table I column).
 	L int
+	// BuildTrace, when non-nil, records the "nn" span with its "poly"
+	// (polynomial generation) and "network" (layer construction) child
+	// spans. Named BuildTrace because Trace already names the LUT
+	// provenance this package attaches to models.
+	BuildTrace *obs.Trace
 }
 
 // Build converts a mapped circuit into its neural-network model. The
 // netlist supplies port names, flip-flop wiring and the gate count used
 // by the throughput metric.
 func Build(nl *netlist.Netlist, m *lutmap.Mapping, opts BuildOptions) (*Model, error) {
+	bsp := opts.BuildTrace.Begin("nn")
+	defer bsp.End()
 	g := m.Graph
+	psp := opts.BuildTrace.Begin("poly")
 	polys := make([]poly.Poly, len(g.LUTs))
 	for i := range g.LUTs {
 		polys[i] = poly.FromTable(g.LUTs[i].Table)
 	}
+	if opts.BuildTrace != nil {
+		var terms int64
+		for i := range polys {
+			terms += int64(len(polys[i].Terms))
+		}
+		psp.SetInt("luts", int64(len(polys))).SetInt("terms", terms)
+	}
+	psp.End()
+	nsp := opts.BuildTrace.Begin("network")
+	defer nsp.End()
 	levels := g.Level()
 	var depth int32
 	for _, l := range levels {
@@ -66,6 +85,15 @@ func Build(nl *netlist.Netlist, m *lutmap.Mapping, opts BuildOptions) (*Model, e
 	}
 	if err := bindPorts(model, nl, m); err != nil {
 		return nil, err
+	}
+	if opts.BuildTrace != nil {
+		var nnz int64
+		for li := range net.Layers {
+			nnz += int64(len(net.Layers[li].W.Val))
+		}
+		nsp.SetInt("layers", int64(len(net.Layers))).
+			SetInt("neurons", int64(net.TotalUnits)).
+			SetInt("nnz", nnz)
 	}
 	return model, nil
 }

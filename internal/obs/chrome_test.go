@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// A fixed span history under the fake clock must serialize to
+// byte-identical Chrome trace_event JSON (attribute keys are sorted by
+// encoding/json, timestamps come from the virtual clock).
+func TestChromeTraceGolden(t *testing.T) {
+	tr := New()
+	clock := fakeClock(tr)
+
+	c := tr.Begin("compile").SetStr("circuit", "UART")
+	p := tr.Begin("parse")
+	*clock = 40 * time.Microsecond
+	p.SetInt("modules", 3).End()
+	*clock = 100 * time.Microsecond
+	c.End()
+	tr.Begin("forward") // deliberately left open
+	*clock = 150 * time.Microsecond
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace differs from golden (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+
+	// The output must also parse as the trace_event JSON-object flavour.
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 4 { // metadata + 3 spans
+		t.Fatalf("got %d events, want 4", len(f.TraceEvents))
+	}
+	if f.TraceEvents[0].Ph != "M" {
+		t.Errorf("first event ph = %q, want M (process_name metadata)", f.TraceEvents[0].Ph)
+	}
+	byName := map[string]int{}
+	for i, e := range f.TraceEvents {
+		byName[e.Name] = i
+	}
+	parse := f.TraceEvents[byName["parse"]]
+	if parse.Dur != 40 {
+		t.Errorf("parse dur = %vµs, want 40", parse.Dur)
+	}
+	if parse.Args["modules"] != float64(3) {
+		t.Errorf("parse args = %v", parse.Args)
+	}
+	fwd := f.TraceEvents[byName["forward"]]
+	if fwd.Args["open"] != true {
+		t.Errorf("open span must carry open:true, got args %v", fwd.Args)
+	}
+	if fwd.Dur != 50 { // 150µs now - 100µs start
+		t.Errorf("open span dur = %vµs, want 50 (duration so far)", fwd.Dur)
+	}
+}
+
+func TestNilTraceExportErrors(t *testing.T) {
+	var tr *Trace
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err == nil {
+		t.Error("WriteChromeTrace on nil trace must error")
+	}
+	if err := tr.WriteMetricsJSON(&buf); err == nil {
+		t.Error("WriteMetricsJSON on nil trace must error")
+	}
+	if err := tr.WriteMetricsText(&buf); err == nil {
+		t.Error("WriteMetricsText on nil trace must error")
+	}
+	if tr.Dump() != nil {
+		t.Error("Dump on nil trace must return nil")
+	}
+}

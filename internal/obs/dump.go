@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// CounterDump is one counter in the metrics dump.
+type CounterDump struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeDump is one gauge in the metrics dump.
+type GaugeDump struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramDump is one histogram in the metrics dump: Counts[i] holds
+// observations v <= Edges[i], with one trailing overflow bucket.
+type HistogramDump struct {
+	Name   string  `json:"name"`
+	Edges  []int64 `json:"edges"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// SpanStatDump is one per-name span aggregate in the metrics dump.
+type SpanStatDump struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MinNS   int64  `json:"min_ns"`
+	MaxNS   int64  `json:"max_ns"`
+}
+
+// MetricsDump is the machine-readable snapshot of a trace's metric
+// registry and span aggregates. Every list is sorted by name (spans by
+// total descending), so the JSON is diff-stable.
+type MetricsDump struct {
+	Counters     []CounterDump   `json:"counters"`
+	Gauges       []GaugeDump     `json:"gauges"`
+	Histograms   []HistogramDump `json:"histograms"`
+	Spans        []SpanStatDump  `json:"spans"`
+	DroppedSpans int64           `json:"dropped_spans"`
+}
+
+// Dump snapshots the metric registry and span aggregates.
+func (t *Trace) Dump() *MetricsDump {
+	if t == nil {
+		return nil
+	}
+	d := &MetricsDump{
+		Counters:   []CounterDump{},
+		Gauges:     []GaugeDump{},
+		Histograms: []HistogramDump{},
+		Spans:      []SpanStatDump{},
+	}
+	t.metricsMu.Lock()
+	for name, c := range t.counters {
+		d.Counters = append(d.Counters, CounterDump{Name: name, Value: c.Value()})
+	}
+	for name, g := range t.gauges {
+		d.Gauges = append(d.Gauges, GaugeDump{Name: name, Value: g.Value()})
+	}
+	for name, h := range t.histograms {
+		d.Histograms = append(d.Histograms, HistogramDump{
+			Name: name, Edges: h.Edges(), Counts: h.Counts(),
+			Count: h.Count(), Sum: h.Sum(),
+		})
+	}
+	t.metricsMu.Unlock()
+	sort.Slice(d.Counters, func(i, j int) bool { return d.Counters[i].Name < d.Counters[j].Name })
+	sort.Slice(d.Gauges, func(i, j int) bool { return d.Gauges[i].Name < d.Gauges[j].Name })
+	sort.Slice(d.Histograms, func(i, j int) bool { return d.Histograms[i].Name < d.Histograms[j].Name })
+	for _, st := range t.StatsByName() {
+		d.Spans = append(d.Spans, SpanStatDump{
+			Name: st.Name, Count: st.Count,
+			TotalNS: st.Total.Nanoseconds(),
+			MinNS:   st.Min.Nanoseconds(),
+			MaxNS:   st.Max.Nanoseconds(),
+		})
+	}
+	d.DroppedSpans = t.Dropped()
+	return d
+}
+
+// WriteMetricsJSON writes the metrics dump as indented JSON.
+func (t *Trace) WriteMetricsJSON(w io.Writer) error {
+	if t == nil {
+		return errors.New("obs: cannot export a nil trace")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Dump())
+}
+
+// WriteMetricsText writes the metrics dump as a flat name-per-line text
+// report.
+func (t *Trace) WriteMetricsText(w io.Writer) error {
+	if t == nil {
+		return errors.New("obs: cannot export a nil trace")
+	}
+	d := t.Dump()
+	for _, c := range d.Counters {
+		if _, err := fmt.Fprintf(w, "counter %-40s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range d.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge   %-40s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range d.Histograms {
+		if _, err := fmt.Fprintf(w, "hist    %-40s n=%d sum=%d edges=%v counts=%v\n",
+			h.Name, h.Count, h.Sum, h.Edges, h.Counts); err != nil {
+			return err
+		}
+	}
+	for _, s := range d.Spans {
+		if _, err := fmt.Fprintf(w, "span    %-40s n=%-8d total=%-14s min=%-12s max=%s\n",
+			s.Name, s.Count,
+			time.Duration(s.TotalNS), time.Duration(s.MinNS), time.Duration(s.MaxNS)); err != nil {
+			return err
+		}
+	}
+	if d.DroppedSpans > 0 {
+		if _, err := fmt.Fprintf(w, "dropped_spans %d\n", d.DroppedSpans); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace collects spans and owns the metric registry. The zero value is
+// not usable; construct with New or NewWithLimit, or keep a nil *Trace
+// for the disabled state.
+type Trace struct {
+	mu       sync.Mutex
+	epoch    time.Time
+	now      func() time.Duration // virtualised in tests
+	spans    []spanData
+	stack    []int32
+	dropped  int64
+	maxSpans int
+
+	metricsMu  sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Counter is a monotonically increasing metric, safe for concurrent
+// use. A nil *Counter (from a nil Trace) is inert.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; no-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins metric, safe for concurrent use. A nil
+// *Gauge is inert.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value; no-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram buckets integer observations by fixed upper-bound edges:
+// observation v lands in the first bucket whose edge satisfies
+// v <= edge, with one implicit overflow bucket past the last edge. A
+// nil *Histogram is inert.
+type Histogram struct {
+	edges  []int64
+	counts []atomic.Int64 // len(edges)+1
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value; no-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.edges), func(i int) bool { return v <= h.edges[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Edges returns the bucket upper bounds.
+func (h *Histogram) Edges() []int64 {
+	if h == nil {
+		return nil
+	}
+	return append([]int64(nil), h.edges...)
+}
+
+// Counts returns the per-bucket counts (len(Edges())+1, the last being
+// the overflow bucket).
+func (h *Histogram) Counts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns the number of observations; Sum their total.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Counter returns (registering on first use) the named counter, or nil
+// on a nil Trace. Resolve handles once outside hot loops: Add is then
+// one atomic op.
+func (t *Trace) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	t.metricsMu.Lock()
+	defer t.metricsMu.Unlock()
+	if t.counters == nil {
+		t.counters = make(map[string]*Counter)
+	}
+	c, ok := t.counters[name]
+	if !ok {
+		c = &Counter{}
+		t.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge, or nil on
+// a nil Trace.
+func (t *Trace) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	t.metricsMu.Lock()
+	defer t.metricsMu.Unlock()
+	if t.gauges == nil {
+		t.gauges = make(map[string]*Gauge)
+	}
+	g, ok := t.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		t.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given sorted bucket edges, or nil on a nil Trace. An existing
+// registration wins; the edges argument is only consulted on first use.
+func (t *Trace) Histogram(name string, edges []int64) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.metricsMu.Lock()
+	defer t.metricsMu.Unlock()
+	if t.histograms == nil {
+		t.histograms = make(map[string]*Histogram)
+	}
+	h, ok := t.histograms[name]
+	if !ok {
+		h = &Histogram{
+			edges:  append([]int64(nil), edges...),
+			counts: make([]atomic.Int64, len(edges)+1),
+		}
+		t.histograms[name] = h
+	}
+	return h
+}
+
+// NameStat aggregates every span sharing one name — the hot-layer /
+// hot-stage rollup behind "c2nn profile -top".
+type NameStat struct {
+	Name  string
+	Count int64
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// StatsByName aggregates closed spans by name, sorted by total duration
+// descending (ties by name). Open spans are excluded — their duration
+// is not yet known.
+func (t *Trace) StatsByName() []NameStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	agg := make(map[string]*NameStat)
+	for i := range t.spans {
+		sd := &t.spans[i]
+		if sd.open {
+			continue
+		}
+		st, ok := agg[sd.name]
+		if !ok {
+			st = &NameStat{Name: sd.name, Min: sd.dur, Max: sd.dur}
+			agg[sd.name] = st
+		}
+		st.Count++
+		st.Total += sd.dur
+		if sd.dur < st.Min {
+			st.Min = sd.dur
+		}
+		if sd.dur > st.Max {
+			st.Max = sd.dur
+		}
+	}
+	t.mu.Unlock()
+	out := make([]NameStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,209 @@
+// Package obs is the zero-dependency observability layer of the
+// compiler and the execution engine: hierarchical wall-clock spans over
+// the compile pipeline and the per-layer kernel dispatches, plus typed
+// counters, gauges and histograms for engine internals (kernel mix,
+// arena reuse, bit-packed plane occupancy, fault-overlay forces).
+//
+// Everything hangs off a *Trace. A nil *Trace is the disabled state:
+// every method no-ops behind a single nil check, allocates nothing, and
+// hands back handles (Span, *Counter, …) that are themselves inert —
+// instrumented code never branches on "is tracing on" beyond the
+// receiver check the obs API already performs.
+//
+// Two exporters turn a Trace into artifacts: WriteChromeTrace emits
+// Chrome trace_event JSON loadable in chrome://tracing or Perfetto, and
+// WriteMetricsJSON / WriteMetricsText dump the metric registry plus
+// per-name span aggregates. See docs/OBSERVABILITY.md for the span
+// taxonomy and metric names used across the repo.
+//
+// Spans must begin and end on one goroutine per Trace (the pipeline and
+// the engine's coordinating goroutine do); counters, gauges and
+// histograms are safe for concurrent use from worker goroutines.
+package obs
+
+import (
+	"time"
+)
+
+// DefaultMaxSpans bounds the span arena of a Trace: once reached,
+// further Begin calls are dropped (and counted) instead of growing
+// memory without bound on long benchmark runs.
+const DefaultMaxSpans = 1 << 20
+
+// Attr is one span attribute: a string or integer payload under a key.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// spanData is the internal record of one span.
+type spanData struct {
+	name   string
+	start  time.Duration // since the trace epoch
+	dur    time.Duration
+	parent int32
+	open   bool
+	attrs  []Attr
+}
+
+// New creates an enabled trace with the default span limit.
+func New() *Trace { return NewWithLimit(DefaultMaxSpans) }
+
+// NewWithLimit creates an enabled trace that drops spans beyond
+// maxSpans (the drop count is reported by Dropped and the metrics
+// dump).
+func NewWithLimit(maxSpans int) *Trace {
+	if maxSpans < 1 {
+		maxSpans = 1
+	}
+	t := &Trace{maxSpans: maxSpans, epoch: time.Now()}
+	t.now = func() time.Duration { return time.Since(t.epoch) }
+	return t
+}
+
+// Span is a handle to one started span. The zero Span (returned by
+// Begin on a nil or saturated Trace) is inert: End and the attribute
+// setters no-op.
+type Span struct {
+	t   *Trace
+	idx int32
+}
+
+// Begin starts a span as a child of the innermost open span. On a nil
+// Trace it returns the inert zero Span without allocating.
+func (t *Trace) Begin(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	if len(t.spans) >= t.maxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return Span{}
+	}
+	idx := int32(len(t.spans))
+	parent := int32(-1)
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	t.spans = append(t.spans, spanData{name: name, start: t.now(), parent: parent, open: true})
+	t.stack = append(t.stack, idx)
+	t.mu.Unlock()
+	return Span{t: t, idx: idx}
+}
+
+// End closes the span, implicitly closing any still-open descendants
+// first (the nesting invariant: the span tree is always well formed,
+// even when an error path skips a child's End). Ending a span twice, or
+// ending the zero Span, is a no-op.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	pos := -1
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s.idx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 { // already ended
+		t.mu.Unlock()
+		return
+	}
+	end := t.now()
+	for i := len(t.stack) - 1; i >= pos; i-- {
+		sd := &t.spans[t.stack[i]]
+		if sd.open {
+			sd.dur = end - sd.start
+			sd.open = false
+		}
+	}
+	t.stack = t.stack[:pos]
+	t.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute; chainable. No-op on the zero
+// Span.
+func (s Span) SetInt(key string, v int64) Span {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	sd := &s.t.spans[s.idx]
+	sd.attrs = append(sd.attrs, Attr{Key: key, Int: v})
+	s.t.mu.Unlock()
+	return s
+}
+
+// SetStr attaches a string attribute; chainable. No-op on the zero
+// Span.
+func (s Span) SetStr(key, v string) Span {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	sd := &s.t.spans[s.idx]
+	sd.attrs = append(sd.attrs, Attr{Key: key, Str: v, IsStr: true})
+	s.t.mu.Unlock()
+	return s
+}
+
+// SpanInfo is a read-only snapshot of one recorded span.
+type SpanInfo struct {
+	Name   string
+	Start  time.Duration // since the trace epoch
+	Dur    time.Duration
+	Parent int // index into the Spans slice, -1 for roots
+	Open   bool
+	Attrs  []Attr
+}
+
+// Spans snapshots every recorded span in begin order.
+func (t *Trace) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanInfo, len(t.spans))
+	for i := range t.spans {
+		sd := &t.spans[i]
+		out[i] = SpanInfo{
+			Name:   sd.name,
+			Start:  sd.start,
+			Dur:    sd.dur,
+			Parent: int(sd.parent),
+			Open:   sd.open,
+			Attrs:  append([]Attr(nil), sd.attrs...),
+		}
+	}
+	return out
+}
+
+// OpenSpans reports how many spans are currently open (begun, not yet
+// ended) — zero on a quiescent trace, and the leak check of the engine
+// lifecycle tests.
+func (t *Trace) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stack)
+}
+
+// Dropped reports how many Begin calls were discarded by the span
+// limit.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

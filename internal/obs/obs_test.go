@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock replaces a trace's clock with a manually advanced one, so
+// span durations (and the Chrome golden file) are deterministic.
+func fakeClock(t *Trace) *time.Duration {
+	var now time.Duration
+	t.now = func() time.Duration { return now }
+	return &now
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	clock := fakeClock(tr)
+
+	a := tr.Begin("a")
+	*clock = 10 * time.Microsecond
+	b := tr.Begin("b")
+	*clock = 20 * time.Microsecond
+	c := tr.Begin("c")
+	*clock = 30 * time.Microsecond
+	c.End()
+	*clock = 40 * time.Microsecond
+	b.End()
+	*clock = 50 * time.Microsecond
+	a.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	wantParent := map[string]int{"a": -1, "b": 0, "c": 1}
+	wantDur := map[string]time.Duration{
+		"a": 50 * time.Microsecond,
+		"b": 30 * time.Microsecond,
+		"c": 10 * time.Microsecond,
+	}
+	for _, s := range spans {
+		if s.Open {
+			t.Errorf("span %q still open", s.Name)
+		}
+		if s.Parent != wantParent[s.Name] {
+			t.Errorf("span %q parent = %d, want %d", s.Name, s.Parent, wantParent[s.Name])
+		}
+		if s.Dur != wantDur[s.Name] {
+			t.Errorf("span %q dur = %v, want %v", s.Name, s.Dur, wantDur[s.Name])
+		}
+	}
+	if n := tr.OpenSpans(); n != 0 {
+		t.Errorf("OpenSpans = %d, want 0", n)
+	}
+}
+
+// Ending a parent closes still-open children at the same instant — the
+// well-nestedness invariant error paths rely on.
+func TestEndClosesDescendants(t *testing.T) {
+	tr := New()
+	clock := fakeClock(tr)
+
+	a := tr.Begin("a")
+	*clock = 5 * time.Microsecond
+	tr.Begin("leaked") // no End: an error path skipped it
+	*clock = 25 * time.Microsecond
+	a.End()
+
+	spans := tr.Spans()
+	if spans[1].Open {
+		t.Fatal("descendant left open by parent End")
+	}
+	if spans[1].Dur != 20*time.Microsecond {
+		t.Errorf("descendant dur = %v, want 20µs", spans[1].Dur)
+	}
+	if spans[0].Start+spans[0].Dur != spans[1].Start+spans[1].Dur {
+		t.Error("parent and implicitly closed child must end at the same instant")
+	}
+	// Double End is a no-op.
+	a.End()
+	if n := tr.OpenSpans(); n != 0 {
+		t.Errorf("OpenSpans = %d, want 0", n)
+	}
+}
+
+func TestSiblingSpansDoNotOverlap(t *testing.T) {
+	tr := New()
+	clock := fakeClock(tr)
+	root := tr.Begin("root")
+	for i := 0; i < 3; i++ {
+		s := tr.Begin("child")
+		*clock += 10 * time.Microsecond
+		s.End()
+	}
+	root.End()
+
+	spans := tr.Spans()
+	var prevEnd time.Duration
+	for _, s := range spans[1:] {
+		if s.Parent != 0 {
+			t.Errorf("child parent = %d, want 0", s.Parent)
+		}
+		if s.Start < prevEnd {
+			t.Errorf("sibling starts at %v before previous end %v", s.Start, prevEnd)
+		}
+		prevEnd = s.Start + s.Dur
+	}
+}
+
+func TestSpanLimit(t *testing.T) {
+	tr := NewWithLimit(2)
+	a := tr.Begin("a")
+	b := tr.Begin("b")
+	c := tr.Begin("c") // over the limit: dropped, inert
+	c.SetInt("k", 1).End()
+	b.End()
+	a.End()
+	if got := len(tr.Spans()); got != 2 {
+		t.Errorf("got %d spans, want 2", got)
+	}
+	if got := tr.Dropped(); got != 1 {
+		t.Errorf("Dropped = %d, want 1", got)
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	tr := New()
+	tr.Begin("s").SetInt("gates", 42).SetStr("circuit", "UART").End()
+	attrs := tr.Spans()[0].Attrs
+	if len(attrs) != 2 {
+		t.Fatalf("got %d attrs, want 2", len(attrs))
+	}
+	if attrs[0].Key != "gates" || attrs[0].Int != 42 || attrs[0].IsStr {
+		t.Errorf("attr 0 = %+v", attrs[0])
+	}
+	if attrs[1].Key != "circuit" || attrs[1].Str != "UART" || !attrs[1].IsStr {
+		t.Errorf("attr 1 = %+v", attrs[1])
+	}
+}
+
+// Bucketing is v <= edge with one overflow bucket; boundary values land
+// in their edge's bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	tr := New()
+	h := tr.Histogram("h", []int64{10, 20, 40})
+	for _, v := range []int64{0, 10, 11, 20, 21, 40, 41, 1000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 2} // (-inf,10], (10,20], (20,40], overflow
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0+10+11+20+21+40+41+1000 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+	// Re-registration returns the same histogram; edges argument ignored.
+	if h2 := tr.Histogram("h", []int64{1}); h2 != h {
+		t.Error("re-registration returned a different histogram")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	tr := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := tr.Counter("shared")
+			h := tr.Histogram("hist", []int64{500})
+			g := tr.Gauge("gauge")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				g.Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := tr.Histogram("hist", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// The disabled (nil *Trace) path must not allocate: one branch per
+// hook, inert handles.
+func TestNilTraceZeroAllocs(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Begin("x")
+		sp.SetInt("k", 1)
+		sp.SetStr("k", "v")
+		sp.End()
+		tr.Counter("c").Add(1)
+		tr.Gauge("g").Set(1)
+		tr.Histogram("h", nil).Observe(1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+	if tr.Spans() != nil || tr.OpenSpans() != 0 || tr.Dropped() != 0 || tr.StatsByName() != nil {
+		t.Error("nil trace accessors must return zero values")
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("x")
+		tr.Counter("c").Inc()
+		sp.End()
+	}
+}
+
+func TestStatsByName(t *testing.T) {
+	tr := New()
+	clock := fakeClock(tr)
+	for _, d := range []time.Duration{30, 10, 20} {
+		s := tr.Begin("k")
+		*clock += d * time.Microsecond
+		s.End()
+	}
+	s := tr.Begin("other")
+	*clock += 5 * time.Microsecond
+	s.End()
+	_ = tr.Begin("open") // excluded: still open
+
+	stats := tr.StatsByName()
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats, want 2 (%v)", len(stats), stats)
+	}
+	if stats[0].Name != "k" {
+		t.Errorf("stats[0] = %q, want k (sorted by total desc)", stats[0].Name)
+	}
+	k := stats[0]
+	if k.Count != 3 || k.Total != 60*time.Microsecond ||
+		k.Min != 10*time.Microsecond || k.Max != 30*time.Microsecond {
+		t.Errorf("k stats = %+v", k)
+	}
+	for _, st := range stats {
+		if st.Name == "open" {
+			t.Error("open span must not appear in stats")
+		}
+	}
+}
+
+func TestMetricsText(t *testing.T) {
+	tr := New()
+	tr.Counter("c.one").Add(3)
+	tr.Gauge("g.one").Set(7)
+	tr.Histogram("h.one", []int64{1}).Observe(1)
+	tr.Begin("s").End()
+	var buf bytes.Buffer
+	if err := tr.WriteMetricsText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"counter c.one", "gauge   g.one", "hist    h.one", "span    s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"c2nn/internal/exec/backend"
 	"c2nn/internal/exec/plan"
 	"c2nn/internal/nn"
+	"c2nn/internal/obs"
 )
 
 // Precision selects the execution substrate of the forward pass.
@@ -76,6 +77,13 @@ type Options struct {
 	// forward pass. Required for fault-injection overlays (WithFaults),
 	// which read and rewrite unit activations between layers.
 	KeepAllActivations bool
+	// Trace, when non-nil, attaches the observability sink: the plan
+	// lowering records a "plan" span and arena counters, every Forward
+	// records a "forward" span with per-layer kernel child spans, and
+	// the backend registers its dispatch counters and (bit-packed)
+	// plane/lane occupancy gauges. Nil disables all of it at the cost
+	// of one branch per hook.
+	Trace *obs.Trace
 }
 
 // Overlay is a per-lane state edit interposed between plan layers — the
@@ -99,6 +107,7 @@ type Engine struct {
 	prec    Precision
 	keepAll bool
 	overlay Overlay
+	tr      *obs.Trace
 	close   sync.Once
 }
 
@@ -123,12 +132,15 @@ func New(model *nn.Model, opts Options) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("simengine: unknown precision %d", opts.Precision)
 	}
-	p, err := plan.CompileOpts(model, plan.Options{DisableArenaReuse: opts.KeepAllActivations})
+	p, err := plan.CompileOpts(model, plan.Options{
+		DisableArenaReuse: opts.KeepAllActivations,
+		Trace:             opts.Trace,
+	})
 	if err != nil {
 		return nil, err
 	}
 	pool := backend.NewPool(opts.Workers)
-	be, err := backend.New(kind, p, opts.Batch, pool)
+	be, err := backend.New(kind, p, opts.Batch, pool, opts.Trace)
 	if err != nil {
 		pool.Close()
 		return nil, err
@@ -142,6 +154,7 @@ func New(model *nn.Model, opts Options) (*Engine, error) {
 		workers: opts.Workers,
 		prec:    opts.Precision,
 		keepAll: opts.KeepAllActivations,
+		tr:      opts.Trace,
 	}
 	runtime.SetFinalizer(e, func(e *Engine) { e.Close() })
 	e.Reset()
@@ -169,6 +182,9 @@ func (e *Engine) Plan() *plan.Plan { return e.plan }
 
 // Precision returns the engine's execution substrate.
 func (e *Engine) Precision() Precision { return e.prec }
+
+// Trace returns the attached observability sink (nil when disabled).
+func (e *Engine) Trace() *obs.Trace { return e.tr }
 
 // Reset clears all activations — including the Q lanes of flip-flops
 // without initial state — and restores flip-flop initial state in every
@@ -265,8 +281,10 @@ func (e *Engine) PokeUnit(unit int32, lane int, v bool) {
 // layer by layer, applying the overlay before the first layer (layer
 // -1) and after each completed layer.
 func (e *Engine) Forward() {
+	sp := e.tr.Begin("forward")
 	if e.overlay == nil {
 		e.be.Forward()
+		sp.End()
 		return
 	}
 	e.overlay.Apply(e, -1)
@@ -274,6 +292,7 @@ func (e *Engine) Forward() {
 		e.be.RunLayer(li)
 		e.overlay.Apply(e, li)
 	}
+	sp.End()
 }
 
 // LatchFeedback copies every flip-flop D value back to its Q input slot

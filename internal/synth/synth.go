@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"c2nn/internal/netlist"
+	"c2nn/internal/obs"
 	"c2nn/internal/verilog"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// MaxDepth bounds hierarchy depth to catch recursive instantiation.
 	// 0 means the default of 64.
 	MaxDepth int
+	// Trace, when non-nil, records elaboration sub-spans: "bitblast"
+	// (hierarchy flattening + vector lowering, the bulk of the work),
+	// "clocks" (clock unification) and "netlist.opt" (the optional
+	// post-elaboration optimiser).
+	Trace *obs.Trace
 }
 
 // Elaborate synthesises the design into a flat netlist.
@@ -64,6 +70,7 @@ func Elaborate(design *verilog.Design, opts Options) (*netlist.Netlist, error) {
 		nl:     netlist.New(topName),
 		opts:   opts,
 	}
+	bsp := opts.Trace.Begin("bitblast")
 	sc, err := el.elaborateModule(top, nil, "", 0)
 	if err != nil {
 		return nil, err
@@ -71,18 +78,23 @@ func Elaborate(design *verilog.Design, opts Options) (*netlist.Netlist, error) {
 	if err := el.bindTopPorts(top, sc); err != nil {
 		return nil, err
 	}
+	bsp.SetInt("gates", int64(el.nl.GateCount())).End()
+	csp := opts.Trace.Begin("clocks")
 	if err := el.resolveClocks(); err != nil {
 		return nil, err
 	}
+	csp.End()
 	// Validate before optimising: Optimize folds buffers, which would
 	// otherwise mask multiple-driver errors.
 	if err := el.nl.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.Optimize {
+		osp := opts.Trace.Begin("netlist.opt")
 		if _, err := el.nl.Optimize(); err != nil {
 			return nil, err
 		}
+		osp.SetInt("gates", int64(el.nl.GateCount())).End()
 	}
 	return el.nl, nil
 }

@@ -1,6 +1,9 @@
 package verilog
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 type parser struct {
 	toks []Token
@@ -31,9 +34,13 @@ func Parse(path, src string) (*SourceFile, error) {
 func BuildDesign(sources map[string]string, order []string) (*Design, error) {
 	d := &Design{Modules: make(map[string]*Module)}
 	if order == nil {
+		// Sort the paths: map iteration order would make Design.Order —
+		// and with it top-module inference and diagnostic ordering —
+		// vary run to run.
 		for path := range sources {
 			order = append(order, path)
 		}
+		sort.Strings(order)
 	}
 	for _, path := range order {
 		sf, err := Parse(path, sources[path])

@@ -470,3 +470,29 @@ func findAlways(t *testing.T, m *Module) *AlwaysBlock {
 	t.Fatal("no always block found")
 	return nil
 }
+
+// BuildDesign with no explicit order must not depend on map iteration:
+// the paths are sorted, so Design.Order — and with it top-module
+// inference and diagnostic ordering — is identical run to run.
+func TestBuildDesignDeterministicOrder(t *testing.T) {
+	sources := map[string]string{
+		"c.v": "module mc(input x, output y); assign y = x; endmodule\n",
+		"a.v": "module ma(input x, output y); assign y = x; endmodule\n",
+		"b.v": "module mb(input x, output y); assign y = x; endmodule\n",
+	}
+	want := []string{"ma", "mb", "mc"} // sorted path order a.v, b.v, c.v
+	for i := 0; i < 20; i++ {
+		d, err := BuildDesign(sources, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Order) != len(want) {
+			t.Fatalf("Order = %v, want %v", d.Order, want)
+		}
+		for j := range want {
+			if d.Order[j] != want[j] {
+				t.Fatalf("iteration %d: Order = %v, want %v", i, d.Order, want)
+			}
+		}
+	}
+}
