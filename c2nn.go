@@ -30,12 +30,16 @@
 //	internal/vcd        VCD waveform writer
 //	internal/testbench  stimulus-script format and runner
 //	internal/fault      stuck-at/SEU fault injection and coverage grading
+//	internal/sat        CDCL SAT solver (miter discharge)
+//	internal/equiv      formal equivalence checker: stage miters + per-LUT
+//	                    proof chain (docs/EQUIV.md)
 package c2nn
 
 import (
 	"fmt"
 
 	"c2nn/internal/circuits"
+	"c2nn/internal/equiv"
 	"c2nn/internal/fault"
 	"c2nn/internal/gatesim"
 	"c2nn/internal/irlint"
@@ -71,6 +75,15 @@ type (
 	Diagnostic = diag.Diagnostic
 	// LintRule describes one registered irlint rule.
 	LintRule = diag.Rule
+	// EquivResult is the certificate of the formal equivalence checker:
+	// per-stage SAT miter verdicts plus the per-LUT proof chain.
+	EquivResult = equiv.Result
+	// EquivOptions configures the equivalence checker (stage selection,
+	// sweep and solver budgets, tracing).
+	EquivOptions = equiv.Options
+	// Counterexample is a replayable miter counterexample; render it
+	// with Script for the .tb testbench format.
+	Counterexample = equiv.Counterexample
 	// Trace is the observability sink: hierarchical spans over compile
 	// stages and engine kernels, plus counters, gauges and histograms.
 	// Export recorded data with WriteChromeTrace (chrome://tracing /
@@ -318,3 +331,34 @@ func LintBenchmark(name string, opts Options) (*LintReport, error) {
 // LintRules returns every registered lint rule, sorted by ID — the
 // rule catalogue documented in docs/LINT.md.
 func LintRules() []LintRule { return diag.Rules() }
+
+// ProveVerilog runs the formal equivalence checker over one compile of
+// the given sources: the netlist, AIG and mapped LUT graph are proven
+// pairwise equivalent by SAT miters, and (unless opts disables the
+// chain) every LUT's truth table is proven equal to its polynomial and
+// threshold realisation. See docs/EQUIV.md.
+func ProveVerilog(sources map[string]string, copts Options, opts EquivOptions) (*EquivResult, error) {
+	copts.fill()
+	design, err := verilog.BuildDesign(sources, nil)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := synth.Elaborate(design, synth.Options{Top: copts.Top, Optimize: true})
+	if err != nil {
+		return nil, err
+	}
+	return equiv.ProveNetlist(nl, copts.L, copts.FlowMap, copts.CoalesceWide, !copts.NoMerge, opts)
+}
+
+// ProveBenchmark runs the formal equivalence checker over one of the
+// built-in Table I circuits.
+func ProveBenchmark(name string, copts Options, opts EquivOptions) (*EquivResult, error) {
+	c, err := circuits.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if copts.Top == "" {
+		copts.Top = c.Top
+	}
+	return ProveVerilog(c.Generate(), copts, opts)
+}

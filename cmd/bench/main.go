@@ -38,6 +38,8 @@ func main() {
 		outPath   = flag.String("out", "", "write the -json report to this file instead of stdout")
 		influence = flag.Bool("influence", false, "check the §II-B sensitivity-vs-density hypothesis over the mapped LUTs")
 		faults    = flag.Bool("faults", false, "grade stuck-at fault coverage and report faults/s per backend")
+		equivF    = flag.Bool("equiv", false, "time the formal equivalence checker (CNF build + solve per circuit and L)")
+		equivOut  = flag.String("equiv-out", "", "write the -equiv rows as JSON to this file")
 		all       = flag.Bool("all", false, "run everything")
 		circuitsF = flag.String("circuits", "", "comma-separated circuit names for -table1 (default all)")
 		lsF       = flag.String("L", "3,7,11", "comma-separated LUT sizes for -table1")
@@ -186,6 +188,50 @@ func main() {
 		}
 		fmt.Println("\n=== Fault grading (faults/s per backend) ===")
 		fmt.Print(bench.FormatFaults(rows))
+	}
+
+	if *equivF || *all {
+		ran = true
+		cfg := bench.DefaultEquivConfig()
+		cfg.Trace = tr
+		if *lsF != "" {
+			cfg.Ls = nil
+			for _, s := range strings.Split(*lsF, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					fatal(err)
+				}
+				cfg.Ls = append(cfg.Ls, v)
+			}
+		}
+		var names []string
+		if *circuitsF != "" {
+			for _, s := range strings.Split(*circuitsF, ",") {
+				names = append(names, strings.TrimSpace(s))
+			}
+		}
+		if *all && *circuitsF == "" {
+			// Keep -all bounded: the full matrix is minutes-scale; the
+			// protocol cores still exercise every checker phase.
+			names = []string{"UART", "SPI"}
+		}
+		rows, err := bench.RunEquiv(names, cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if *equivOut != "" {
+			f, err := os.Create(*equivOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteEquivJSON(f, rows); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Println("\n=== Formal equivalence (SAT miters + per-LUT chain) ===")
+		fmt.Print(bench.FormatEquiv(rows))
 	}
 
 	if *influence || *all {

@@ -119,6 +119,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "equiv" {
+		if err := runEquiv(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "c2nn equiv:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "fault" {
 		if err := runFault(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "c2nn fault:", err)
@@ -168,6 +175,7 @@ func runLint(args []string) error {
 		flowmap = fs.Bool("flowmap", false, "use the FlowMap depth-optimal mapper instead of priority cuts")
 		jsonOut = fs.Bool("json", false, "emit machine-readable JSON instead of text")
 		rules   = fs.Bool("rules", false, "list every registered rule and exit")
+		noEquiv = fs.Bool("noequiv", false, "skip the SAT equivalence stage (rules EQ001-EQ008)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: c2nn lint [-all | -circuit name | file.v ...] [-L n] [-json]")
@@ -218,7 +226,7 @@ func runLint(args []string) error {
 		return fmt.Errorf("no input: pass Verilog files, -circuit or -all (see c2nn lint -h)")
 	}
 
-	opts := irlint.Options{L: *lutSize, FlowMap: *flowmap}
+	opts := irlint.Options{L: *lutSize, FlowMap: *flowmap, NoEquiv: *noEquiv}
 	type result struct {
 		Circuit string          `json:"circuit"`
 		Report  json.RawMessage `json:"report"`

@@ -1,0 +1,140 @@
+package equiv
+
+import (
+	"fmt"
+
+	"c2nn/internal/aig"
+	"c2nn/internal/irlint/diag"
+	"c2nn/internal/lutmap"
+	"c2nn/internal/netlist"
+)
+
+// Equivalence-stage lint rules: the SAT miters and the per-LUT proof
+// chain report through the same diag registry as every other pipeline
+// stage, so `c2nn lint` surfaces a broken compile stage as an EQ
+// diagnostic with the counterexample location attached.
+var (
+	// RuleNetlistAIG flags a netlist↔AIG miter the solver proved SAT:
+	// the bit-blasted netlist and the and-inverter graph compute
+	// different functions on some input.
+	RuleNetlistAIG = diag.Register(diag.Rule{
+		ID: "EQ001", Stage: diag.StageEquiv, Severity: diag.Error,
+		Summary: "netlist and AIG must be combinationally equivalent (SAT miter)",
+	})
+	// RuleAIGLUT flags an AIG↔LUT-graph miter the solver proved SAT.
+	RuleAIGLUT = diag.Register(diag.Rule{
+		ID: "EQ002", Stage: diag.StageEquiv, Severity: diag.Error,
+		Summary: "AIG and mapped LUT graph must be combinationally equivalent (SAT miter)",
+	})
+	// RuleNetlistLUT flags the transitive netlist↔LUT miter — redundant
+	// with EQ001+EQ002 by construction, kept to catch compensating
+	// encoder bugs.
+	RuleNetlistLUT = diag.Register(diag.Rule{
+		ID: "EQ003", Stage: diag.StageEquiv, Severity: diag.Error,
+		Summary: "netlist and mapped LUT graph must be combinationally equivalent (SAT miter)",
+	})
+	// RulePolyTable flags a LUT whose Möbius polynomial disagrees with
+	// its truth table on some assignment (exhaustive 2^k check).
+	RulePolyTable = diag.Register(diag.Rule{
+		ID: "EQ004", Stage: diag.StageEquiv, Severity: diag.Error,
+		Summary: "every LUT's multi-linear polynomial must equal its truth table on all 2^k rows",
+	})
+	// RuleThresholdTable flags a two-layer threshold block whose
+	// realised value disagrees with the LUT truth table, or a term
+	// neuron whose CSR row/bias does not implement its monomial.
+	RuleThresholdTable = diag.Register(diag.Rule{
+		ID: "EQ005", Stage: diag.StageEquiv, Severity: diag.Error,
+		Summary: "every LUT's threshold block must realise its truth table on all 2^k rows",
+	})
+	// RulePairing flags broken positional invariants between the
+	// stages' PI/PO lists — the precondition that lets the miters share
+	// primary-input variables.
+	RulePairing = diag.Register(diag.Rule{
+		ID: "EQ006", Stage: diag.StageEquiv, Severity: diag.Error,
+		Summary: "stage PI/PO pairing must be positionally consistent across netlist, AIG and LUT graph",
+	})
+	// RuleTrace flags model-trace provenance that does not match the
+	// graph it claims to be compiled from.
+	RuleTrace = diag.Register(diag.Rule{
+		ID: "EQ007", Stage: diag.StageEquiv, Severity: diag.Error,
+		Summary: "model trace provenance must match the mapped LUT graph",
+	})
+	// RuleInconclusive warns when a miter exhausted its conflict budget
+	// before reaching a verdict — the proof is incomplete, not wrong.
+	RuleInconclusive = diag.Register(diag.Rule{
+		ID: "EQ008", Stage: diag.StageEquiv, Severity: diag.Warning,
+		Summary: "equivalence verdict inconclusive: solver exhausted its conflict budget",
+	})
+)
+
+// miterRule maps each stage pair onto its diagnostic rule.
+func miterRule(s StagePair) diag.Rule {
+	switch s {
+	case StageNetlistAIG:
+		return RuleNetlistAIG
+	case StageAIGLUT:
+		return RuleAIGLUT
+	default:
+		return RuleNetlistLUT
+	}
+}
+
+// chainRule maps each chain-violation kind onto its diagnostic rule:
+// polynomial disagreements are EQ004, trace provenance is EQ007, and
+// everything downstream of the polynomial (term neurons, realised
+// values, output wiring) is EQ005.
+func chainRule(k ChainKind) diag.Rule {
+	switch k {
+	case ChainPoly:
+		return RulePolyTable
+	case ChainTrace:
+		return RuleTrace
+	default:
+		return RuleThresholdTable
+	}
+}
+
+// LintPairing runs the EQ006 positional-pairing check and returns one
+// diagnostic per violation.
+func LintPairing(nl *netlist.Netlist, ag *aig.AIG, aigOuts []aig.Lit, m *lutmap.Mapping) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, e := range VerifyPairing(nl, ag, aigOuts, m) {
+		ds = append(ds, RulePairing.New(nl.Name, "%s", e))
+	}
+	return ds
+}
+
+// Lint converts a proof certificate into diagnostics: one EQ001–EQ003
+// error per SAT miter (with the failing output and a rendered
+// counterexample assignment in the message), one EQ008 warning per
+// inconclusive miter, and one EQ004/EQ005/EQ007 error per chain issue.
+func (r *Result) Lint() []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, m := range r.Miters {
+		loc := fmt.Sprintf("%s L=%d %s", r.Circuit, r.L, m.Stage)
+		switch m.Status {
+		case NotEquivalent:
+			msg := fmt.Sprintf("miter SAT at output %d", m.FailingOutput)
+			if m.Cex != nil {
+				msg += fmt.Sprintf(": inputs %s diverge at outputs %v", m.Cex.Assignment, m.Cex.Diverging)
+			}
+			ds = append(ds, miterRule(m.Stage).New(loc, "%s", msg))
+		case Inconclusive:
+			ds = append(ds, RuleInconclusive.New(loc,
+				"output miter undecided after %d conflicts", m.Conflicts))
+		}
+	}
+	if r.Chain != nil {
+		for _, iss := range r.Chain.Issues {
+			loc := fmt.Sprintf("%s L=%d", r.Circuit, r.L)
+			if iss.LUT >= 0 {
+				loc = fmt.Sprintf("%s lut %d", loc, iss.LUT)
+				if iss.Term >= 0 {
+					loc = fmt.Sprintf("%s term %d", loc, iss.Term)
+				}
+			}
+			ds = append(ds, chainRule(iss.Kind).New(loc, "%s", iss.Msg))
+		}
+	}
+	return ds
+}

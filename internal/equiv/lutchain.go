@@ -1,0 +1,363 @@
+package equiv
+
+import (
+	"fmt"
+	"math/bits"
+
+	"c2nn/internal/lutmap"
+	"c2nn/internal/nn"
+	"c2nn/internal/poly"
+	"c2nn/internal/tensor"
+)
+
+// ChainKind classifies one per-LUT chain violation; lint.go maps each
+// kind to an EQ rule.
+type ChainKind string
+
+// Chain violation kinds.
+const (
+	// ChainPoly: Algorithm 1's polynomial does not reproduce the truth
+	// table (zeta transform mismatch or non-Boolean value).
+	ChainPoly ChainKind = "poly"
+	// ChainTrace: the recorded provenance disagrees with the polynomial
+	// (masks, coefficients, constant, unit bookkeeping).
+	ChainTrace ChainKind = "trace"
+	// ChainValue: the value form realised in the network weights does
+	// not reproduce the truth table.
+	ChainValue ChainKind = "value"
+	// ChainNeuron: a term neuron's actual weight row or bias differs
+	// from the substituted fan-in forms (Fig. 5 weight product).
+	ChainNeuron ChainKind = "neuron"
+	// ChainOutput: an output-layer row differs from the value form of
+	// its combinational output.
+	ChainOutput ChainKind = "output"
+)
+
+// ChainIssue is one violation found by the per-LUT proof chain.
+type ChainIssue struct {
+	Kind ChainKind `json:"kind"`
+	LUT  int       `json:"lut"`  // -1 for output-layer issues
+	Term int       `json:"term"` // -1 when not term-specific
+	Msg  string    `json:"msg"`
+}
+
+func (i ChainIssue) String() string {
+	if i.LUT < 0 {
+		return fmt.Sprintf("%s: %s", i.Kind, i.Msg)
+	}
+	if i.Term < 0 {
+		return fmt.Sprintf("%s: lut %d: %s", i.Kind, i.LUT, i.Msg)
+	}
+	return fmt.Sprintf("%s: lut %d term %d: %s", i.Kind, i.LUT, i.Term, i.Msg)
+}
+
+// ChainReport summarises the exhaustive LUT→polynomial→threshold-block
+// certificate: every truth-table row of every LUT checked against the
+// polynomial and against the value form the network weights realise,
+// every term neuron's row and bias checked against the substituted
+// fan-in forms, and every output row checked against its value form.
+type ChainReport struct {
+	LUTs        int          `json:"luts"`
+	TermNeurons int          `json:"term_neurons"`
+	RowsChecked int64        `json:"rows_checked"` // truth-table rows proven
+	Issues      []ChainIssue `json:"issues,omitempty"`
+}
+
+// OK reports whether the whole chain held.
+func (r *ChainReport) OK() bool { return len(r.Issues) == 0 }
+
+// CheckLUTChain proves, LUT by LUT, that the mapped truth tables, their
+// multi-linear polynomials and the threshold blocks built into the
+// network model all realise the same function. Tables have at most 2^L
+// rows, so every proof here is exhaustive — no sampling, no SAT.
+func CheckLUTChain(g *lutmap.Graph, model *nn.Model) *ChainReport {
+	rep := &ChainReport{LUTs: len(g.LUTs)}
+	tr := model.Trace
+	if tr == nil {
+		rep.Issues = append(rep.Issues, ChainIssue{Kind: ChainTrace, LUT: -1, Term: -1,
+			Msg: "model carries no LUT provenance trace"})
+		return rep
+	}
+	if len(tr.LUTs) != len(g.LUTs) {
+		rep.Issues = append(rep.Issues, ChainIssue{Kind: ChainTrace, LUT: -1, Term: -1,
+			Msg: fmt.Sprintf("trace covers %d LUTs, graph has %d", len(tr.LUTs), len(g.LUTs))})
+		return rep
+	}
+	for u := range g.LUTs {
+		checkOneLUT(g, model, u, rep)
+	}
+	checkOutputLayer(g, model, rep)
+	return rep
+}
+
+func checkOneLUT(g *lutmap.Graph, model *nn.Model, u int, rep *ChainReport) {
+	issue := func(kind ChainKind, term int, format string, args ...interface{}) {
+		rep.Issues = append(rep.Issues, ChainIssue{Kind: kind, LUT: u, Term: term,
+			Msg: fmt.Sprintf(format, args...)})
+	}
+	l := &g.LUTs[u]
+	lt := &model.Trace.LUTs[u]
+	k := l.Table.NumVars
+	p := poly.FromTable(l.Table)
+	terms := p.NonConstTerms()
+	rep.TermNeurons += len(terms)
+
+	// EQ004 — table == polynomial. The zeta (subset-sum) transform of
+	// the coefficient vector must reproduce the table with every value
+	// in {0,1}: O(k·2^k) instead of 2^k full evaluations.
+	dense := make([]int64, 1<<uint(k))
+	for _, t := range p.Terms {
+		dense[t.Mask] = int64(t.Coeff)
+	}
+	zeta(dense, k)
+	rep.RowsChecked += int64(len(dense))
+	for x := range dense {
+		want := int64(0)
+		if l.Table.Bit(x) {
+			want = 1
+		}
+		if dense[x] != want {
+			issue(ChainPoly, -1, "polynomial evaluates to %d at assignment %#x, table says %d", dense[x], x, want)
+			break
+		}
+	}
+
+	// EQ007 — provenance: the trace must record exactly the
+	// polynomial's term structure and consistent unit bookkeeping.
+	if len(lt.TermUnits) != len(terms) || len(lt.TermMasks) != len(terms) {
+		issue(ChainTrace, -1, "trace records %d/%d term units/masks for %d polynomial terms",
+			len(lt.TermUnits), len(lt.TermMasks), len(terms))
+		return
+	}
+	for ti, t := range terms {
+		if lt.TermMasks[ti] != t.Mask {
+			issue(ChainTrace, ti, "trace mask %#x, polynomial mask %#x", lt.TermMasks[ti], t.Mask)
+			return
+		}
+	}
+	if model.Merged {
+		if lt.Cst != p.ConstTerm() {
+			issue(ChainTrace, -1, "trace constant %d, polynomial constant %d", lt.Cst, p.ConstTerm())
+		}
+		if len(lt.VUnits) != len(terms) || len(lt.VCoefs) != len(terms) {
+			issue(ChainTrace, -1, "merged value form spans %d units for %d terms", len(lt.VUnits), len(terms))
+			return
+		}
+		for ti, t := range terms {
+			if lt.VUnits[ti] != lt.TermUnits[ti] || lt.VCoefs[ti] != t.Coeff {
+				issue(ChainTrace, ti, "merged value form (unit %d coef %d) != (term unit %d coef %d)",
+					lt.VUnits[ti], lt.VCoefs[ti], lt.TermUnits[ti], t.Coeff)
+				return
+			}
+		}
+	} else {
+		if lt.Cst != 0 || len(lt.VUnits) != 1 || len(lt.VCoefs) != 1 || lt.VCoefs[0] != 1 {
+			issue(ChainTrace, -1, "unmerged value form is not a unit pointer at a signal neuron")
+			return
+		}
+	}
+
+	// EQ005 — the value form realised in the network equals the table.
+	// The realised coefficients are read back from the model (weight
+	// rows for unmerged signals, the trace the engine executes for
+	// merged), then zeta-transformed against the table — an independent
+	// data path from the EQ004 check above.
+	cst, coefs, ok := realizedValueForm(model, u, terms)
+	if !ok {
+		issue(ChainValue, -1, "cannot read the realised value form back from the network")
+		return
+	}
+	vdense := make([]int64, 1<<uint(k))
+	vdense[0] = cst
+	for ti, t := range terms {
+		vdense[t.Mask] += coefs[ti]
+	}
+	zeta(vdense, k)
+	rep.RowsChecked += int64(len(vdense))
+	for x := range vdense {
+		want := int64(0)
+		if l.Table.Bit(x) {
+			want = 1
+		}
+		if vdense[x] != want {
+			issue(ChainValue, -1, "realised value form gives %d at assignment %#x, table says %d", vdense[x], x, want)
+			break
+		}
+	}
+
+	// EQ005 — term neurons: each row of the threshold layer must be the
+	// exact substitution of its fan-in value forms (unit pin weights in
+	// the unmerged network, the Fig. 5 weight product in the merged
+	// one), and the bias must put the firing threshold at "all pins
+	// true": sum − bias = 1 when every pin of the monomial is 1 and
+	// ≤ 0 when any pin is 0.
+	ly := layerOf(model, lt)
+	if ly < 0 {
+		issue(ChainNeuron, -1, "level %d maps to no network layer", lt.Level)
+		return
+	}
+	layer := &model.Net.Layers[ly]
+	seg := model.Net.SegStart[ly]
+	for ti, t := range terms {
+		row := int(lt.TermUnits[ti] - seg)
+		if row < 0 || row >= layer.W.Rows {
+			issue(ChainNeuron, ti, "term unit %d outside layer %d rows", lt.TermUnits[ti], ly)
+			continue
+		}
+		want := map[int32]int64{}
+		size := int64(bits.OnesCount32(t.Mask))
+		constSum := int64(0)
+		for v := 0; v < k; v++ {
+			if t.Mask>>uint(v)&1 == 0 {
+				continue
+			}
+			ref := l.Ins[v]
+			if ref.IsPI() {
+				want[nn.PIUnit(ref.PI())]++
+				continue
+			}
+			fl := &model.Trace.LUTs[ref.LUT()]
+			constSum += int64(fl.Cst)
+			for fk, unit := range fl.VUnits {
+				want[unit] += int64(fl.VCoefs[fk])
+				if want[unit] == 0 {
+					delete(want, unit)
+				}
+			}
+		}
+		if diff := rowDiff(layer.W, row, want); diff != "" {
+			issue(ChainNeuron, ti, "weight row mismatch: %s", diff)
+			continue
+		}
+		wantBias := size - 1 - constSum
+		if float64(layer.Bias[row]) != float64(wantBias) {
+			issue(ChainNeuron, ti, "bias %v, want %d", layer.Bias[row], wantBias)
+			continue
+		}
+		// Firing margins of Θ(Σ − bias): all pins true gives pin-sum
+		// size (margin 1 > 0, fires); the best non-firing case gives
+		// size−1 (margin 0, stays off). Constant offsets from fan-in
+		// forms cancel against the bias.
+		if fire := size - (wantBias + constSum); fire != 1 {
+			issue(ChainNeuron, ti, "all-pins-true margin %d, want 1", fire)
+		}
+		if noFire := (size - 1) - (wantBias + constSum); noFire != 0 {
+			issue(ChainNeuron, ti, "one-pin-false margin %d, want 0", noFire)
+		}
+	}
+}
+
+// realizedValueForm reads back how the network actually represents the
+// LUT's output value. Merged models execute the trace's VUnits/VCoefs
+// directly (already cross-checked against the polynomial); unmerged
+// models materialise the signal in a linear layer, so the coefficients
+// are read from that layer's actual weight row.
+func realizedValueForm(model *nn.Model, u int, terms []poly.Term) (cst int64, coefs []int64, ok bool) {
+	lt := &model.Trace.LUTs[u]
+	if model.Merged {
+		coefs = make([]int64, len(lt.VCoefs))
+		for i, c := range lt.VCoefs {
+			coefs[i] = int64(c)
+		}
+		return int64(lt.Cst), coefs, true
+	}
+	ly := layerOf(model, lt)
+	if ly < 0 || ly+1 >= len(model.Net.Layers) {
+		return 0, nil, false
+	}
+	lin := &model.Net.Layers[ly+1]
+	row := int(lt.VUnits[0] - model.Net.SegStart[ly+1])
+	if row < 0 || row >= lin.W.Rows {
+		return 0, nil, false
+	}
+	byUnit := make(map[int32]int64)
+	for p := lin.W.RowPtr[row]; p < lin.W.RowPtr[row+1]; p++ {
+		byUnit[lin.W.Col[p]] += int64(lin.W.Val[p])
+	}
+	cst = byUnit[nn.ConstUnit]
+	delete(byUnit, nn.ConstUnit)
+	coefs = make([]int64, len(lt.TermUnits))
+	for i, unit := range lt.TermUnits {
+		coefs[i] = byUnit[unit]
+		delete(byUnit, unit)
+	}
+	return cst, coefs, len(byUnit) == 0
+}
+
+// checkOutputLayer verifies every row of the final linear layer against
+// the value form of its combinational output.
+func checkOutputLayer(g *lutmap.Graph, model *nn.Model, rep *ChainReport) {
+	last := len(model.Net.Layers) - 1
+	layer := &model.Net.Layers[last]
+	if layer.Threshold || layer.W.Rows != len(g.Outputs) {
+		rep.Issues = append(rep.Issues, ChainIssue{Kind: ChainOutput, LUT: -1, Term: -1,
+			Msg: fmt.Sprintf("final layer has %d rows (threshold=%v) for %d outputs",
+				layer.W.Rows, layer.Threshold, len(g.Outputs))})
+		return
+	}
+	for j, ref := range g.Outputs {
+		want := map[int32]int64{}
+		if ref.IsPI() {
+			want[nn.PIUnit(ref.PI())] = 1
+		} else {
+			lt := &model.Trace.LUTs[ref.LUT()]
+			if lt.Cst != 0 {
+				want[nn.ConstUnit] = int64(lt.Cst)
+			}
+			for k, unit := range lt.VUnits {
+				want[unit] += int64(lt.VCoefs[k])
+				if want[unit] == 0 {
+					delete(want, unit)
+				}
+			}
+		}
+		if diff := rowDiff(layer.W, j, want); diff != "" {
+			rep.Issues = append(rep.Issues, ChainIssue{Kind: ChainOutput, LUT: -1, Term: -1,
+				Msg: fmt.Sprintf("output %d row mismatch: %s", j, diff)})
+		}
+	}
+}
+
+// layerOf resolves a trace entry's threshold layer index, -1 if absent.
+func layerOf(model *nn.Model, lt *nn.LUTTrace) int {
+	lol := model.Trace.LayerOfLevel
+	if int(lt.Level) >= len(lol) {
+		return -1
+	}
+	return int(lol[lt.Level])
+}
+
+// rowDiff compares an actual CSR row with expected integer
+// coefficients, returning a description of the first difference or "".
+func rowDiff(m *tensor.CSR, row int, want map[int32]int64) string {
+	seen := 0
+	for p := m.RowPtr[row]; p < m.RowPtr[row+1]; p++ {
+		col, val := m.Col[p], m.Val[p]
+		w, ok := want[col]
+		if !ok {
+			return fmt.Sprintf("unexpected weight %v at unit %d", val, col)
+		}
+		if float64(val) != float64(w) {
+			return fmt.Sprintf("unit %d has weight %v, want %d", col, val, w)
+		}
+		seen++
+	}
+	if seen != len(want) {
+		return fmt.Sprintf("row has %d entries, want %d", seen, len(want))
+	}
+	return ""
+}
+
+// zeta computes the in-place subset-sum transform over k variables:
+// d[x] becomes Σ_{S ⊆ x} d[S] — evaluating a multi-linear polynomial
+// with 0/1 inputs at every assignment simultaneously in O(k·2^k).
+func zeta(d []int64, k int) {
+	for v := 0; v < k; v++ {
+		bit := 1 << uint(v)
+		for x := range d {
+			if x&bit != 0 {
+				d[x] += d[x&^bit]
+			}
+		}
+	}
+}

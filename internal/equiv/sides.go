@@ -1,0 +1,210 @@
+package equiv
+
+import (
+	"fmt"
+
+	"c2nn/internal/aig"
+	"c2nn/internal/lutmap"
+	"c2nn/internal/netlist"
+	"c2nn/internal/sat"
+)
+
+// sideIR adapts one intermediate representation to the sweep: it can
+// Tseitin-encode itself into a shared CNF and simulate itself under
+// bit-parallel stimulus. Both views use the same node numbering so
+// simulation signatures index CNF literals directly.
+//
+// patterns[i] holds the stimulus words of primary input i (64 lanes per
+// word); nodeSigs/outSigs use the same layout per node/output.
+type sideIR struct {
+	name     string
+	numNodes int
+	encode   func(c *cnf, piLits []sat.Lit) (nodeLits, outLits []sat.Lit, err error)
+	sim      func(patterns [][]uint64) (nodeSigs, outSigs [][]uint64)
+}
+
+// netlistSide wraps the bit-blasted netlist: nodes are gates in netlist
+// order, outputs are CombOutputs (primary outputs then flip-flop D
+// pins). Simulation goes through GateKind.EvalWord — a code path
+// independent of both the AIG lowering and the LUT mapper.
+func netlistSide(nl *netlist.Netlist) (*sideIR, error) {
+	lev, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	combIns := nl.CombInputs()
+	combOuts := nl.CombOutputs()
+	return &sideIR{
+		name:     "netlist",
+		numNodes: len(nl.Gates),
+		encode: func(c *cnf, piLits []sat.Lit) ([]sat.Lit, []sat.Lit, error) {
+			gateLits, netLits, err := encodeNetlist(c, nl, piLits)
+			if err != nil {
+				return nil, nil, err
+			}
+			outLits := make([]sat.Lit, len(combOuts))
+			for j, id := range combOuts {
+				l, ok := netLits[id]
+				if !ok {
+					return nil, nil, fmt.Errorf("equiv: combinational output %s is undriven", nl.NameOf(id))
+				}
+				outLits[j] = l
+			}
+			return gateLits, outLits, nil
+		},
+		sim: func(patterns [][]uint64) ([][]uint64, [][]uint64) {
+			words := len(patterns[0])
+			vals := make([][]uint64, nl.NumNets())
+			vals[netlist.ConstZero] = make([]uint64, words)
+			ones := make([]uint64, words)
+			for w := range ones {
+				ones[w] = ^uint64(0)
+			}
+			vals[netlist.ConstOne] = ones
+			i := 0
+			for _, id := range combIns {
+				if id == netlist.ConstZero || id == netlist.ConstOne {
+					continue
+				}
+				vals[id] = patterns[i]
+				i++
+			}
+			nodeSigs := make([][]uint64, len(nl.Gates))
+			var in [3]uint64
+			for _, gi := range lev.Order {
+				g := &nl.Gates[gi]
+				ins := g.Inputs()
+				out := make([]uint64, words)
+				for w := 0; w < words; w++ {
+					for k, id := range ins {
+						in[k] = vals[id][w]
+					}
+					out[w] = g.Kind.EvalWord(in[:len(ins)])
+				}
+				vals[g.Out] = out
+				nodeSigs[gi] = out
+			}
+			outSigs := make([][]uint64, len(combOuts))
+			for j, id := range combOuts {
+				outSigs[j] = vals[id]
+			}
+			return nodeSigs, outSigs
+		},
+	}, nil
+}
+
+// aigSide wraps the and-inverter graph: nodes are AIG nodes (constant
+// and PIs included) and outputs are the given literals in CombOutputs
+// order.
+func aigSide(g *aig.AIG, outs []aig.Lit) *sideIR {
+	return &sideIR{
+		name:     "aig",
+		numNodes: g.NumNodes(),
+		encode: func(c *cnf, piLits []sat.Lit) ([]sat.Lit, []sat.Lit, error) {
+			nodeLits, err := encodeAIG(c, g, piLits)
+			if err != nil {
+				return nil, nil, err
+			}
+			outLits := make([]sat.Lit, len(outs))
+			for j, l := range outs {
+				outLits[j] = nodeLits[l.Node()].FlipIf(l.Neg())
+			}
+			return nodeLits, outLits, nil
+		},
+		sim: func(patterns [][]uint64) ([][]uint64, [][]uint64) {
+			words := len(patterns[0])
+			vals := make([][]uint64, g.NumNodes())
+			vals[0] = make([]uint64, words) // constant false
+			for i := 0; i < g.NumPIs(); i++ {
+				vals[i+1] = patterns[i]
+			}
+			word := func(l aig.Lit, w int) uint64 {
+				v := vals[l.Node()][w]
+				if l.Neg() {
+					return ^v
+				}
+				return v
+			}
+			for n := int32(g.NumPIs()) + 1; n < int32(g.NumNodes()); n++ {
+				a, b := g.Fanins(n)
+				out := make([]uint64, words)
+				for w := 0; w < words; w++ {
+					out[w] = word(a, w) & word(b, w)
+				}
+				vals[n] = out
+			}
+			outSigs := make([][]uint64, len(outs))
+			for j, l := range outs {
+				sig := make([]uint64, words)
+				for w := 0; w < words; w++ {
+					sig[w] = word(l, w)
+				}
+				outSigs[j] = sig
+			}
+			return vals, outSigs
+		},
+	}
+}
+
+// lutSide wraps the mapped LUT computation graph: nodes are LUTs,
+// outputs are Graph.Outputs. Simulation indexes each truth table per
+// lane — deliberately the most direct reading of the mapped tables,
+// sharing no code with the polynomial or network stages.
+func lutSide(g *lutmap.Graph) *sideIR {
+	return &sideIR{
+		name:     "lut",
+		numNodes: len(g.LUTs),
+		encode: func(c *cnf, piLits []sat.Lit) ([]sat.Lit, []sat.Lit, error) {
+			lutLits, err := encodeLUTGraph(c, g, piLits)
+			if err != nil {
+				return nil, nil, err
+			}
+			outLits := make([]sat.Lit, len(g.Outputs))
+			for j, r := range g.Outputs {
+				if r.IsPI() {
+					outLits[j] = piLits[r.PI()]
+				} else {
+					outLits[j] = lutLits[r.LUT()]
+				}
+			}
+			return lutLits, outLits, nil
+		},
+		sim: func(patterns [][]uint64) ([][]uint64, [][]uint64) {
+			words := len(patterns[0])
+			vals := make([][]uint64, len(g.LUTs))
+			ref := func(r lutmap.NodeRef) []uint64 {
+				if r.IsPI() {
+					return patterns[r.PI()]
+				}
+				return vals[r.LUT()]
+			}
+			for i := range g.LUTs {
+				l := &g.LUTs[i]
+				ins := make([][]uint64, len(l.Ins))
+				for k, r := range l.Ins {
+					ins[k] = ref(r)
+				}
+				out := make([]uint64, words)
+				for w := 0; w < words; w++ {
+					var res uint64
+					for lane := 0; lane < 64; lane++ {
+						var idx uint64
+						for k := range ins {
+							idx |= (ins[k][w] >> uint(lane) & 1) << uint(k)
+						}
+						if l.Table.Eval(idx) {
+							res |= 1 << uint(lane)
+						}
+					}
+					out[w] = res
+				}
+				vals[i] = out
+			}
+			outSigs := make([][]uint64, len(g.Outputs))
+			for j, r := range g.Outputs {
+				outSigs[j] = ref(r)
+			}
+			return vals, outSigs
+		},
+	}
+}

@@ -1,0 +1,444 @@
+package equiv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"c2nn/internal/obs"
+	"c2nn/internal/sat"
+)
+
+// Status is the verdict of one miter proof.
+type Status string
+
+// Miter verdicts.
+const (
+	// Equivalent: every output miter is UNSAT — the two IRs compute the
+	// same function of the shared combinational inputs.
+	Equivalent Status = "equivalent"
+	// NotEquivalent: some output miter is SAT; Cex holds the replayable
+	// distinguishing input.
+	NotEquivalent Status = "not_equivalent"
+	// Inconclusive: the conflict budget ran out before a verdict.
+	Inconclusive Status = "inconclusive"
+)
+
+// SweepStats counts the work of the combined sweep shared by every
+// stage miter of one proof: all requested IR sides are Tseitin-encoded
+// into a single solver over shared primary-input variables, so internal
+// equivalences are proven once and reused transitively by each stage's
+// output miters.
+type SweepStats struct {
+	Sides      int     `json:"sides"`
+	Vars       int     `json:"vars"`
+	Clauses    int     `json:"clauses"`
+	Gates      int     `json:"tseitin_gates"`
+	Rounds     int     `json:"rounds"`
+	Patterns   int     `json:"patterns"` // simulation lanes used
+	Candidates int     `json:"candidates"`
+	Merged     int     `json:"merged"`
+	Disproven  int     `json:"disproven"`
+	Skipped    int     `json:"skipped"` // candidate pairs dropped on budget
+	Solves     int64   `json:"solves"`
+	Conflicts  int64   `json:"conflicts"`
+	CNFMillis  float64 `json:"cnf_ms"`
+	SweepMs    float64 `json:"sweep_ms"`
+}
+
+// MiterResult is the outcome of one stage miter: the per-output final
+// proofs of that stage pair, on top of the shared sweep.
+type MiterResult struct {
+	Stage         StagePair       `json:"stage"`
+	Status        Status          `json:"status"`
+	Outputs       int             `json:"outputs"`
+	FailingOutput int             `json:"failing_output,omitempty"`
+	Cex           *Counterexample `json:"cex,omitempty"`
+	Solves        int64           `json:"solves"`
+	Conflicts     int64           `json:"conflicts"`
+	SolveMillis   float64         `json:"solve_ms"`
+}
+
+// miterConfig bounds one sweep; zero values are filled by Options.
+type miterConfig struct {
+	patternWords   int
+	maxRounds      int
+	pairBudget     int64
+	finalBudget    int64
+	seed           int64
+	maxCexPerRound int
+}
+
+// pairKey identifies an (a, b) candidate pair across rounds; nodes are
+// numbered side<<32|index.
+type pairKey [2]uint64
+
+// proveMiters runs one combined equivalence proof over every IR side
+// the requested stages touch. All sides are encoded into a single CNF
+// over shared primary-input variables, one simulation-guided sweep
+// proves internal equivalences bottom-up across sides (candidate pairs
+// always span two different sides, so every merge advances a cross-IR
+// proof and chains transitively), and then each stage discharges its
+// per-output miters — usually by unit propagation through the merged
+// classes. SAT models are validated by replaying them through both
+// sides' simulators before being reported as counterexamples.
+func proveMiters(stages []StagePair, sides []*sideIR, pairIdx map[StagePair][2]int, numPIs int, cfg miterConfig, tr *obs.Trace) (*SweepStats, []*MiterResult, error) {
+	stats := &SweepStats{Sides: len(sides)}
+
+	cnfStart := time.Now()
+	csp := tr.Begin("equiv.cnf")
+	c := newCNF()
+	piLits := make([]sat.Lit, numPIs)
+	for i := range piLits {
+		piLits[i] = c.newLit()
+	}
+	nodeLits := make([][]sat.Lit, len(sides))
+	outLits := make([][]sat.Lit, len(sides))
+	for i, s := range sides {
+		var err error
+		nodeLits[i], outLits[i], err = s.encode(c, piLits)
+		if err != nil {
+			csp.End()
+			return nil, nil, fmt.Errorf("equiv: encoding %s: %w", s.name, err)
+		}
+	}
+	for _, stage := range stages {
+		p := pairIdx[stage]
+		if la, lb := len(outLits[p[0]]), len(outLits[p[1]]); la != lb {
+			csp.End()
+			return nil, nil, fmt.Errorf("equiv: %s has %d outputs, %s has %d",
+				sides[p[0]].name, la, sides[p[1]].name, lb)
+		}
+	}
+	st := c.s.Stats()
+	stats.Vars, stats.Clauses, stats.Gates = st.Vars, st.Clauses, c.gates
+	stats.CNFMillis = float64(time.Since(cnfStart).Microseconds()) / 1000
+	csp.SetInt("vars", int64(st.Vars)).
+		SetInt("clauses", int64(st.Clauses)).
+		SetInt("gates", int64(c.gates)).End()
+
+	// restrictCones limits the solver's decisions to the combined
+	// structural cone of the given literals (a DFS over the Tseitin defs
+	// recorded by the builder), with one refinement: a variable already
+	// proven equal to a lower one (subst) becomes a cut point — the DFS
+	// includes the variable itself but expands the representative's cone
+	// instead of its own fanin. The set stays sound for SetDecisionVars:
+	// once every set variable is assigned without conflict, each cut
+	// point's value equals its representative's, which is computed
+	// functionally by its fully-assigned cone, so the natural evaluation
+	// of the whole circuit from the model's PI values is a genuine total
+	// model agreeing on the miter. The payoff is that cones shrink as
+	// the sweep merges nodes, so later (and deeper) proofs stay small.
+	// Buffers are reused across calls; coneMark uses epoch stamps so it
+	// is never cleared.
+	subst := make(map[int32]int32)
+	merge := func(a, b sat.Lit) {
+		va, vb := int32(a.Var()), int32(b.Var())
+		if va == vb {
+			return
+		}
+		if va > vb {
+			va, vb = vb, va
+		}
+		subst[vb] = va
+	}
+	coneMark := make([]int32, len(c.defN))
+	coneEpoch := int32(0)
+	var coneVars, coneStack []int32
+	restrictCones := func(lits ...sat.Lit) {
+		coneEpoch++
+		coneVars, coneStack = coneVars[:0], coneStack[:0]
+		push := func(v int32) {
+			if coneMark[v] != coneEpoch {
+				coneMark[v] = coneEpoch
+				coneStack = append(coneStack, v)
+			}
+		}
+		for _, l := range lits {
+			push(int32(l.Var()))
+		}
+		for len(coneStack) > 0 {
+			v := coneStack[len(coneStack)-1]
+			coneStack = coneStack[:len(coneStack)-1]
+			coneVars = append(coneVars, v)
+			if lo, ok := subst[v]; ok {
+				push(lo)
+				continue
+			}
+			for k := uint8(0); k < c.defN[v]; k++ {
+				push(int32(c.defs[v][k].Var()))
+			}
+		}
+		c.s.SetDecisionVars(coneVars)
+	}
+	defer c.s.SetDecisionVars(nil)
+
+	sweepStart := time.Now()
+	ssp := tr.Begin("equiv.solve")
+	rng := rand.New(rand.NewSource(cfg.seed))
+	patterns := make([][]uint64, numPIs)
+	for i := range patterns {
+		w := make([]uint64, cfg.patternWords)
+		for k := range w {
+			w[k] = rng.Uint64()
+		}
+		patterns[i] = w
+	}
+
+	proven := make(map[pairKey]bool)
+	refuted := make(map[pairKey]bool)
+	// Pairs whose proof exhausted the per-pair budget once are not
+	// retried in later rounds: their signatures did not split, so a
+	// retry would usually burn the same budget again. The final output
+	// miters re-examine anything that matters with the large budget.
+	abandoned := make(map[pairKey]bool)
+	pairLits := make(map[pairKey][2]sat.Lit)
+	xorCache := make(map[pairKey]sat.Lit)
+
+	// Sweep rounds: simulate every side, pair identical (or
+	// complemented) signatures across sides, prove each candidate pair
+	// with a conflict budget, and feed SAT models back as fresh
+	// simulation patterns so disproven classes split before the next
+	// round.
+	sigs := make([][][]uint64, len(sides))
+	for round := 0; ; round++ {
+		stats.Rounds = round + 1
+		stats.Patterns = 64 * len(patterns[0])
+		for i, s := range sides {
+			sigs[i], _ = s.sim(patterns)
+		}
+
+		type rep struct {
+			lit  sat.Lit
+			key  uint64
+			side uint64
+		}
+		classes := make(map[string]rep)
+		// Seed the constant class so always-false/always-true nodes get
+		// proven against the shared constant literal.
+		classes[zeroKey(len(patterns[0]))] = rep{lit: c.constant(false), key: ^uint64(0), side: ^uint64(0)}
+
+		var cexes [][]bool
+		try := func(side uint64, idx int, sig []uint64, lit sat.Lit) {
+			phase := sig[0]&1 == 1
+			canonLit := lit.FlipIf(phase)
+			key := canonKey(sig, phase)
+			r, ok := classes[key]
+			if !ok {
+				classes[key] = rep{lit: canonLit, key: side<<32 | uint64(idx), side: side}
+				return
+			}
+			if r.lit == canonLit {
+				return // alias of the representative
+			}
+			if r.side == side {
+				// Intra-side duplicates don't advance the cross-IR
+				// proof; skip the SAT call and keep the existing rep.
+				return
+			}
+			pk := pairKey{r.key, side<<32 | uint64(idx)}
+			if proven[pk] || refuted[pk] || abandoned[pk] {
+				return
+			}
+			stats.Candidates++
+			d, ok := xorCache[pk]
+			if !ok {
+				d = c.xorGate(r.lit, canonLit)
+				xorCache[pk] = d
+			}
+			c.s.SetConflictBudget(cfg.pairBudget)
+			restrictCones(r.lit, canonLit)
+			switch c.s.Solve(d) {
+			case sat.Unsat:
+				c.s.AddClause(d.Flip())
+				proven[pk] = true
+				merge(r.lit, canonLit)
+				stats.Merged++
+			case sat.Sat:
+				stats.Disproven++
+				refuted[pk] = true
+				if len(cexes) < cfg.maxCexPerRound {
+					cexes = append(cexes, extractPIs(c.s, piLits))
+				}
+			default:
+				abandoned[pk] = true
+				pairLits[pk] = [2]sat.Lit{r.lit, canonLit}
+				stats.Skipped++
+			}
+		}
+		for i := range sides {
+			for j, sig := range sigs[i] {
+				try(uint64(i), j, sig, nodeLits[i][j])
+			}
+		}
+		if len(cexes) == 0 || round+1 >= cfg.maxRounds {
+			break
+		}
+		patterns = appendPatterns(patterns, cexes, rng)
+	}
+
+	// Hardening passes: pairs abandoned on budget are retried bottom-up
+	// with escalating budgets while they are still node-local — far
+	// cheaper than letting the unproven logic surface again inside a
+	// deep output miter. Bottom-up order matters: each proven pair adds
+	// an equality clause that short-circuits the cones above it.
+	if len(abandoned) > 0 {
+		type hardPair struct {
+			pk   pairKey
+			a, b sat.Lit
+		}
+		hards := make([]hardPair, 0, len(abandoned))
+		for pk := range abandoned {
+			l := pairLits[pk]
+			hards = append(hards, hardPair{pk, l[0], l[1]})
+		}
+		sort.Slice(hards, func(i, j int) bool {
+			hi, hj := maxVar(hards[i].a, hards[i].b), maxVar(hards[j].a, hards[j].b)
+			if hi != hj {
+				return hi < hj
+			}
+			return hards[i].pk[0]<<1^hards[i].pk[1] < hards[j].pk[0]<<1^hards[j].pk[1]
+		})
+		budget := cfg.pairBudget
+		for pass := 0; pass < 2 && len(hards) > 0; pass++ {
+			budget *= 10
+			rest := hards[:0]
+			for _, h := range hards {
+				d := xorCache[h.pk]
+				c.s.SetConflictBudget(budget)
+				restrictCones(h.a, h.b)
+				switch c.s.Solve(d) {
+				case sat.Unsat:
+					c.s.AddClause(d.Flip())
+					merge(h.a, h.b)
+					stats.Merged++
+				case sat.Sat:
+					stats.Disproven++
+				default:
+					rest = append(rest, h)
+				}
+			}
+			hards = rest
+		}
+		stats.Skipped = len(hards)
+	}
+	sw := c.s.Stats()
+	stats.Solves, stats.Conflicts = sw.Solves, sw.Conflicts
+	stats.SweepMs = float64(time.Since(sweepStart).Microseconds()) / 1000
+	ssp.SetInt("solves", sw.Solves).
+		SetInt("conflicts", sw.Conflicts).
+		SetInt("clauses", int64(sw.Clauses)).
+		SetInt("merged", int64(stats.Merged)).End()
+
+	// Final per-output miters, one pass per requested stage. The sweep
+	// has usually merged each output pair already, making these
+	// unit-propagation lookups.
+	results := make([]*MiterResult, 0, len(stages))
+	for _, stage := range stages {
+		p := pairIdx[stage]
+		a, b := sides[p[0]], sides[p[1]]
+		oa, ob := outLits[p[0]], outLits[p[1]]
+		res := &MiterResult{Stage: stage, Status: Equivalent, Outputs: len(oa)}
+		results = append(results, res)
+
+		stageStart := time.Now()
+		before := c.s.Stats()
+		msp := tr.Begin("equiv.miter")
+		c.s.SetConflictBudget(cfg.finalBudget)
+	outputs:
+		for j := range oa {
+			la, lb := oa[j], ob[j]
+			if la == lb {
+				continue
+			}
+			d := c.xorGate(la, lb)
+			restrictCones(la, lb)
+			switch c.s.Solve(d) {
+			case sat.Unsat:
+				c.s.AddClause(d.Flip())
+			case sat.Sat:
+				pis := extractPIs(c.s, piLits)
+				cex, err := buildCex(stage, a, b, pis)
+				if err != nil {
+					msp.End()
+					return nil, nil, err
+				}
+				res.Status = NotEquivalent
+				res.FailingOutput = j
+				res.Cex = cex
+				break outputs
+			default:
+				res.Status = Inconclusive
+				res.FailingOutput = j
+				break outputs
+			}
+		}
+		after := c.s.Stats()
+		res.Solves = after.Solves - before.Solves
+		res.Conflicts = after.Conflicts - before.Conflicts
+		res.SolveMillis = float64(time.Since(stageStart).Microseconds()) / 1000
+		msp.SetStr("stage", string(stage)).
+			SetStr("status", string(res.Status)).
+			SetInt("solves", res.Solves).
+			SetInt("conflicts", res.Conflicts).End()
+	}
+	stats.Clauses = c.s.Stats().Clauses
+	return stats, results, nil
+}
+
+func maxVar(a, b sat.Lit) int {
+	if a.Var() > b.Var() {
+		return a.Var()
+	}
+	return b.Var()
+}
+
+// canonKey serialises a signature with optional complement so a node
+// and its inverse land in the same candidate class.
+func canonKey(sig []uint64, flip bool) string {
+	buf := make([]byte, 0, 8*len(sig))
+	for _, w := range sig {
+		if flip {
+			w = ^w
+		}
+		for k := 0; k < 8; k++ {
+			buf = append(buf, byte(w>>uint(8*k)))
+		}
+	}
+	return string(buf)
+}
+
+func zeroKey(words int) string {
+	return string(make([]byte, 8*words))
+}
+
+// extractPIs reads the primary-input assignment out of a SAT model.
+func extractPIs(s *sat.Solver, piLits []sat.Lit) []bool {
+	pis := make([]bool, len(piLits))
+	for i, l := range piLits {
+		pis[i] = s.ValueLit(l)
+	}
+	return pis
+}
+
+// appendPatterns packs counterexample assignments (one bit per cex)
+// into extra stimulus words per primary input, filling unused lanes
+// with fresh random bits.
+func appendPatterns(patterns [][]uint64, cexes [][]bool, rng *rand.Rand) [][]uint64 {
+	words := (len(cexes) + 63) / 64
+	for i := range patterns {
+		for wi := 0; wi < words; wi++ {
+			var w uint64 = rng.Uint64()
+			for k, cex := range cexes[wi*64 : min(len(cexes), wi*64+64)] {
+				if cex[i] {
+					w |= 1 << uint(k)
+				} else {
+					w &^= 1 << uint(k)
+				}
+			}
+			patterns[i] = append(patterns[i], w)
+		}
+	}
+	return patterns
+}

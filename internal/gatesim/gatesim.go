@@ -183,6 +183,28 @@ func (s *Sim) Step() {
 	}
 }
 
+// NumFFs returns the number of flip-flops in the compiled program.
+func (s *Sim) NumFFs() int { return len(s.q) }
+
+// PokeFF overrides the current state of flip-flop i (netlist FF order),
+// as if the previous cycle had latched v. Used by testbench `setff`
+// directives to start a replay from an arbitrary state.
+func (s *Sim) PokeFF(i int, v bool) error {
+	if i < 0 || i >= len(s.q) {
+		return fmt.Errorf("gatesim: flip-flop %d out of range (have %d)", i, len(s.q))
+	}
+	s.q[i] = v
+	return nil
+}
+
+// PeekFF reads the current state of flip-flop i (netlist FF order).
+func (s *Sim) PeekFF(i int) (bool, error) {
+	if i < 0 || i >= len(s.q) {
+		return false, fmt.Errorf("gatesim: flip-flop %d out of range (have %d)", i, len(s.q))
+	}
+	return s.q[i], nil
+}
+
 // Peek reads an output port as an integer (LSB-first, at most 64 bits).
 func (s *Sim) Peek(name string) (uint64, error) {
 	port := s.p.nl.FindOutput(name)

@@ -75,17 +75,18 @@ const (
 	StageNN      Stage = "nn"      // threshold neural network
 	StagePlan    Stage = "plan"    // lowered execution plan
 	StageFault   Stage = "fault"   // fault universe + lane overlays
+	StageEquiv   Stage = "equiv"   // cross-stage equivalence proofs
 )
 
 // stageOrder gives the pipeline position of each stage for sorting.
 var stageOrder = map[Stage]int{
 	StageAST: 0, StageNetlist: 1, StageAIG: 2, StageLUT: 3, StagePoly: 4, StageNN: 5,
-	StagePlan: 6, StageFault: 7,
+	StagePlan: 6, StageFault: 7, StageEquiv: 8,
 }
 
 // Stages returns all stages in pipeline order.
 func Stages() []Stage {
-	return []Stage{StageAST, StageNetlist, StageAIG, StageLUT, StagePoly, StageNN, StagePlan, StageFault}
+	return []Stage{StageAST, StageNetlist, StageAIG, StageLUT, StagePoly, StageNN, StagePlan, StageFault, StageEquiv}
 }
 
 // Diagnostic is one rule violation found by the verifier.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"c2nn/internal/aig"
+	"c2nn/internal/equiv"
 	"c2nn/internal/exec/plan"
 	"c2nn/internal/fault"
 	"c2nn/internal/irlint/diag"
@@ -131,6 +132,25 @@ func Faults(model *nn.Model, g *lutmap.Graph) (*diag.Report, error) {
 	return r, nil
 }
 
+// Equiv runs the SAT equivalence stage (rules EQ001–EQ008): pairing
+// invariants first, then the three stage miters and the per-LUT
+// table→polynomial→threshold chain, converting the certificate into
+// diagnostics. Broken pairing skips the proof — the miters cannot share
+// primary inputs without it.
+func Equiv(nl *netlist.Netlist, g *aig.AIG, outs []aig.Lit, m *lutmap.Mapping, model *nn.Model) (*diag.Report, error) {
+	r := &diag.Report{}
+	if ds := equiv.LintPairing(nl, g, outs, m); len(ds) > 0 {
+		r.Add(ds...)
+		return r, nil
+	}
+	res, err := equiv.Prove(nl, g, outs, m, model, equiv.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("irlint: equivalence proof: %w", err)
+	}
+	r.Add(res.Lint()...)
+	return r, nil
+}
+
 // Options configures the pipeline check. The zero value means L = 7,
 // priority-cuts mapping, layer merging on.
 type Options struct {
@@ -143,6 +163,9 @@ type Options struct {
 	CoalesceWide int
 	// NoMerge disables the depth-halving layer merge.
 	NoMerge bool
+	// NoEquiv disables the SAT equivalence stage (rules EQ001–EQ008),
+	// leaving only the per-stage structural lints.
+	NoEquiv bool
 }
 
 func (o *Options) fill() {
@@ -225,6 +248,18 @@ func Check(nl *netlist.Netlist, opts Options) (*nn.Model, *diag.Report, error) {
 		return nil, report, err
 	}
 	report.Add(faultReport.Diags...)
+	if report.HasErrors() {
+		report.Sort()
+		return nil, report, nil
+	}
+
+	if !opts.NoEquiv {
+		eqReport, err := Equiv(nl, g, outs, m, model)
+		if err != nil {
+			return nil, report, err
+		}
+		report.Add(eqReport.Diags...)
+	}
 	report.Sort()
 	if report.HasErrors() {
 		return nil, report, nil

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag reports whether the race detector is compiled in,
+// so expensive SAT-heavy tests can scale themselves down under
+// `go test -race` (the detector slows the solver by an order of
+// magnitude) while still running in full on plain builds.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

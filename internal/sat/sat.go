@@ -1,0 +1,836 @@
+// Package sat implements a from-scratch CDCL (conflict-driven clause
+// learning) SAT solver — the decision procedure behind the formal
+// equivalence checker in internal/equiv. The design follows the
+// MiniSat lineage: two-watched-literal unit propagation, first-UIP
+// conflict analysis with clause learning, VSIDS-style variable
+// activities with phase saving, Luby restarts and activity-based
+// learned-clause reduction. The solver is incremental: clauses may be
+// added between Solve calls and each call may carry assumption
+// literals, which is how the equivalence checker asserts proven node
+// equivalences and discharges per-pair miters.
+//
+// There is no proof logging (DRAT); the soundness story of the
+// equivalence checker instead rests on model extraction: every SAT
+// answer comes with a full assignment that callers replay against the
+// circuit IRs, so a buggy UNSAT is caught by the mutation self-test
+// and a buggy SAT by counterexample replay.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index shifted left once with the low bit
+// as the complement flag, the same encoding as aig.Lit.
+type Lit int32
+
+// MkLit builds a literal from a 0-based variable index.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the 0-based variable index of the literal.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is complemented.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Flip returns the complemented literal.
+func (l Lit) Flip() Lit { return l ^ 1 }
+
+// FlipIf complements the literal when c is true.
+func (l Lit) FlipIf(c bool) Lit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+// String renders the literal as v3 / ~v3.
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("~v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+// Status is a solve verdict.
+type Status uint8
+
+// Solve verdicts.
+const (
+	// Unknown means the conflict budget was exhausted before a verdict.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found (see Value).
+	Sat
+	// Unsat means the clause set (with assumptions) is unsatisfiable.
+	Unsat
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// Stats counts solver work across the solver's lifetime.
+type Stats struct {
+	Vars         int
+	Clauses      int   // problem clauses currently attached
+	Learned      int   // learned clauses currently attached
+	Solves       int64 // Solve calls
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+}
+
+// lbool is a lifted boolean: -1 unassigned, 0 false, 1 true.
+type lbool int8
+
+const lUndef lbool = -1
+
+func (b lbool) sign(neg bool) lbool {
+	if b == lUndef || !neg {
+		return b
+	}
+	return 1 - b
+}
+
+// clause is a disjunction of literals; lits[0] and lits[1] are the
+// watched pair.
+type clause struct {
+	lits    []Lit
+	act     float64
+	learned bool
+}
+
+// Solver is an incremental CDCL SAT solver. The zero value is not
+// usable; construct with New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+	watches [][]*clause
+
+	assign   []lbool
+	level    []int32
+	reason   []*clause
+	phase    []bool // saved polarity per variable
+	activity []float64
+	varInc   float64
+
+	heap    []int32 // binary max-heap of variable indices by activity
+	heapPos []int32 // position in heap, -1 when absent
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	claInc float64
+	ok     bool // false once a top-level conflict was derived
+
+	model []lbool // last SAT assignment
+
+	seen  []bool // conflict-analysis scratch
+	stats Stats
+
+	// budget is the per-Solve conflict limit; <= 0 means unlimited.
+	budget int64
+
+	// restrict/relevant implement SetDecisionVars. Restricted solves
+	// bypass the activity heap entirely: decisions walk decVars in the
+	// caller's order via decCursor, so a restricted Solve costs nothing
+	// to set up. heapDirty records that the heap no longer holds every
+	// unassigned variable and must be rebuilt before an unrestricted
+	// Solve.
+	restrict  bool
+	relevant  []bool
+	decVars   []int32
+	decCursor int
+	// restrictHeap flips a restricted Solve from cursor order to a
+	// VSIDS heap over the restricted set once the solve proves hard
+	// (restrictSwitch conflicts); easy solves never pay for the heap.
+	restrictHeap bool
+	heapDirty    bool
+}
+
+// restrictSwitch is the per-solve conflict count after which a
+// restricted Solve abandons the caller's static decision order for
+// activity-driven decisions.
+const restrictSwitch = 30
+
+// New creates an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1, claInc: 1, ok: true}
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.heapPos = append(s.heapPos, -1)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heapInsert(int32(v))
+	return v
+}
+
+// SetConflictBudget bounds the number of conflicts a single Solve may
+// spend before returning Unknown. Zero or negative removes the bound.
+func (s *Solver) SetConflictBudget(n int64) { s.budget = n }
+
+// SetDecisionVars restricts the decision variables of subsequent Solve
+// calls to the given set. Solve then reports Sat as soon as every
+// variable of the set is assigned without conflict, leaving other
+// variables possibly unassigned (false) in the model.
+//
+// This is sound only when the clause set guarantees that such a partial
+// model always extends to a total one — e.g. Tseitin-encoded circuits
+// where the set is closed under gate fanin, so every variable outside
+// it is functionally determined by (or independent of) the set. The
+// payoff is cone-local solving without cone extraction: the search
+// never assigns the rest of the circuit. Decisions follow the order of
+// vars (with saved phases), not variable activity — callers pass the
+// set in a deliberately useful order, e.g. cone roots first. Passing
+// nil removes the restriction. The slice is copied; out-of-range
+// indices are dropped.
+func (s *Solver) SetDecisionVars(vars []int32) {
+	for _, v := range s.decVars {
+		s.relevant[v] = false
+	}
+	s.decVars = s.decVars[:0]
+	if vars == nil {
+		s.restrict = false
+		return
+	}
+	s.restrict = true
+	if len(s.relevant) < len(s.assign) {
+		next := make([]bool, len(s.assign))
+		copy(next, s.relevant)
+		s.relevant = next
+	}
+	for _, v := range vars {
+		if v < 0 || int(v) >= len(s.assign) || s.relevant[v] {
+			continue
+		}
+		s.relevant[v] = true
+		s.decVars = append(s.decVars, v)
+	}
+}
+
+// rebuildHeap repopulates the decision heap with every unassigned
+// variable and heapifies it. Only needed before an unrestricted Solve
+// after restricted ones left the heap stale.
+func (s *Solver) rebuildHeap() {
+	for _, v := range s.heap {
+		s.heapPos[v] = -1
+	}
+	s.heap = s.heap[:0]
+	for v := range s.assign {
+		if s.assign[v] == lUndef && s.heapPos[v] < 0 {
+			s.heapPos[v] = int32(len(s.heap))
+			s.heap = append(s.heap, int32(v))
+		}
+	}
+	for i := int32(len(s.heap))/2 - 1; i >= 0; i-- {
+		s.heapDown(i)
+	}
+}
+
+// rebuildRestrictedHeap repopulates the decision heap with the
+// unassigned variables of the restricted set — O(restricted set).
+func (s *Solver) rebuildRestrictedHeap() {
+	for _, v := range s.heap {
+		s.heapPos[v] = -1
+	}
+	s.heap = s.heap[:0]
+	for _, v := range s.decVars {
+		if s.assign[v] == lUndef && s.heapPos[v] < 0 {
+			s.heapPos[v] = int32(len(s.heap))
+			s.heap = append(s.heap, v)
+		}
+	}
+	for i := int32(len(s.heap))/2 - 1; i >= 0; i-- {
+		s.heapDown(i)
+	}
+}
+
+// Stats returns a snapshot of the work counters.
+func (s *Solver) Stats() Stats {
+	st := s.stats
+	st.Vars = len(s.assign)
+	st.Clauses = len(s.clauses)
+	st.Learned = len(s.learnts)
+	return st
+}
+
+// value returns the lifted value of a literal under the current
+// assignment.
+func (s *Solver) value(l Lit) lbool {
+	return s.assign[l.Var()].sign(l.Neg())
+}
+
+// Value reads variable v from the model of the last Sat answer.
+func (s *Solver) Value(v int) bool {
+	if v >= len(s.model) {
+		return false
+	}
+	return s.model[v] == 1
+}
+
+// ValueLit reads a literal from the model of the last Sat answer.
+func (s *Solver) ValueLit(l Lit) bool { return s.Value(l.Var()) != l.Neg() }
+
+// AddClause adds a disjunction of literals. It returns false when the
+// solver has already derived top-level unsatisfiability (then or
+// earlier); afterwards Solve always returns Unsat.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Simplify: sort-free dedup, drop false literals, detect tautology
+	// and satisfied clauses at level 0.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assign) {
+			panic(fmt.Sprintf("sat: clause uses unallocated %s", l))
+		}
+		switch s.value(l) {
+		case 1:
+			return true // already satisfied
+		case 0:
+			continue // false at level 0: drop
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Flip() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.enqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Flip()] = append(s.watches[c.lits[0].Flip()], c)
+	s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+}
+
+// enqueue records an assignment with its reason clause.
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assign[v] = lbool(1).sign(l.Neg())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// propagate runs watched-literal unit propagation until fixpoint,
+// returning the conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; clauses watching ~p wake up
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if confl != nil {
+				kept = append(kept, c)
+				continue
+			}
+			// Normalise so the false literal is lits[1].
+			falseLit := p.Flip()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == 1 {
+				kept = append(kept, c) // satisfied by the other watch
+				continue
+			}
+			// Look for a new watch.
+			moved := false
+			for i := 2; i < len(c.lits); i++ {
+				if s.value(c.lits[i]) != 0 {
+					c.lits[1], c.lits[i] = c.lits[i], c.lits[1]
+					s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == 0 {
+				confl = c // all literals false
+				continue
+			}
+			s.enqueue(c.lits[0], c) // unit
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
+	learnt := []Lit{0} // slot 0 for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		s.bumpClause(confl)
+		for _, q := range confl.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail back to the next marked literal.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Flip()
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Cheap clause minimisation: drop literals whose reason clause is
+	// entirely covered by the remaining marked literals. Seen flags are
+	// cleared over the original literal set afterwards, so dropped
+	// literals cannot leak stale marks into the next analysis.
+	orig := append([]Lit(nil), learnt...)
+	marked := func(l Lit) bool { return s.seen[l.Var()] || l == learnt[0] }
+	for _, l := range orig[1:] {
+		s.seen[l.Var()] = true
+	}
+	kept := learnt[:1]
+	for _, l := range orig[1:] {
+		r := s.reason[l.Var()]
+		redundant := r != nil
+		if r != nil {
+			for _, q := range r.lits {
+				if q == l.Flip() {
+					continue
+				}
+				if s.level[q.Var()] != 0 && !marked(q) {
+					redundant = false
+					break
+				}
+			}
+		}
+		if !redundant {
+			kept = append(kept, l)
+		}
+	}
+	for _, l := range orig[1:] {
+		s.seen[l.Var()] = false
+	}
+	learnt = kept
+
+	// Backtrack level: the second-highest decision level in the clause.
+	bt := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = s.level[learnt[1].Var()]
+	}
+	return learnt, bt
+}
+
+// cancelUntil undoes assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == 1
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		useHeap := !s.restrict || s.restrictHeap
+		if useHeap && s.heapPos[v] < 0 && (!s.restrict || s.relevant[v]) {
+			s.heapInsert(int32(v))
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+	if s.restrict && !s.restrictHeap {
+		// Unassigned decision vars may now precede the cursor; rescan.
+		// pickBranch skips still-assigned ones in O(1) each.
+		s.decCursor = 0
+	}
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(s.heapPos[v])
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learned {
+		return
+	}
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// Variable-order heap (max-heap on activity).
+
+func (s *Solver) heapLess(i, j int32) bool {
+	return s.activity[s.heap[i]] > s.activity[s.heap[j]]
+}
+
+func (s *Solver) heapSwap(i, j int32) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heapPos[s.heap[i]] = i
+	s.heapPos[s.heap[j]] = j
+}
+
+func (s *Solver) heapUp(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(i, p) {
+			break
+		}
+		s.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (s *Solver) heapDown(i int32) {
+	n := int32(len(s.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && s.heapLess(l, best) {
+			best = l
+		}
+		if r < n && s.heapLess(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.heapSwap(i, best)
+		i = best
+	}
+}
+
+func (s *Solver) heapInsert(v int32) {
+	s.heapPos[v] = int32(len(s.heap))
+	s.heap = append(s.heap, v)
+	s.heapUp(s.heapPos[v])
+}
+
+func (s *Solver) heapPop() int32 {
+	v := s.heap[0]
+	last := int32(len(s.heap) - 1)
+	s.heapSwap(0, last)
+	s.heap = s.heap[:last]
+	s.heapPos[v] = -1
+	if last > 0 {
+		s.heapDown(0)
+	}
+	return v
+}
+
+// pickBranch returns the next unassigned decision variable, or -1.
+// Restricted solves walk decVars in caller order; unrestricted ones pop
+// the activity heap.
+func (s *Solver) pickBranch() int32 {
+	if s.restrict && !s.restrictHeap {
+		for s.decCursor < len(s.decVars) {
+			v := s.decVars[s.decCursor]
+			if s.assign[v] == lUndef {
+				return v
+			}
+			s.decCursor++
+		}
+		return -1
+	}
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k)-1 {
+			continue
+		}
+		i -= 1<<uint(k-1) - 1
+		return luby(i)
+	}
+}
+
+// reduceDB removes roughly half of the learned clauses, least active
+// first, keeping binary clauses and current reasons.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	ls := append([]*clause(nil), s.learnts...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].act < ls[j].act })
+	locked := make(map[*clause]bool)
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	drop := make(map[*clause]bool)
+	for _, c := range ls[:len(ls)/2] {
+		if len(c.lits) > 2 && !locked[c] {
+			drop[c] = true
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !drop[c] {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	for li := range s.watches {
+		ws := s.watches[li]
+		k := ws[:0]
+		for _, c := range ws {
+			if !drop[c] {
+				k = append(k, c)
+			}
+		}
+		s.watches[li] = k
+	}
+}
+
+// Solve decides satisfiability of the clause set under the given
+// assumption literals. On Sat the model is retained for Value /
+// ValueLit; on Unknown the conflict budget ran out. The solver state
+// (clauses, activities) persists across calls.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.stats.Solves++
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+	if s.restrict {
+		s.decCursor = 0
+		s.restrictHeap = false
+		s.heapDirty = true
+	} else if s.heapDirty {
+		s.rebuildHeap()
+		s.heapDirty = false
+	}
+
+	spent := int64(0)
+	var restartN int64 = 1
+	conflictsToRestart := luby(restartN) * 100
+	maxLearnts := int64(len(s.clauses)/3 + 300)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			spent++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			s.learnClause(learnt)
+			s.decayActivities()
+			if !s.ok {
+				return Unsat
+			}
+			if s.budget > 0 && spent >= s.budget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.restrict && !s.restrictHeap && spent >= restrictSwitch {
+				// The static decision order is losing; switch this
+				// solve to activity-driven decisions over the
+				// restricted set.
+				s.restrictHeap = true
+				s.rebuildRestrictedHeap()
+			}
+			if spent >= conflictsToRestart {
+				restartN++
+				conflictsToRestart = spent + luby(restartN)*100
+				s.stats.Restarts++
+				s.cancelUntil(0)
+			}
+			if int64(len(s.learnts)) > maxLearnts {
+				s.reduceDB()
+				maxLearnts += maxLearnts / 2
+			}
+			continue
+		}
+
+		// Extend with the next assumption, if any. Assumptions occupy
+		// the lowest decision levels (one level each, even when already
+		// implied, to keep level-to-assumption indexing aligned); a
+		// backtrack below them re-enters this branch, which re-pushes
+		// the undone suffix. When a learned clause has made an
+		// assumption false, the problem is Unsat under the assumptions.
+		if int(s.decisionLevel()) < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case 1:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case 0:
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.enqueue(a, nil)
+			continue
+		}
+
+		v := s.pickBranch()
+		if v < 0 {
+			// Full assignment: extract the model.
+			s.model = append(s.model[:0], s.assign...)
+			s.cancelUntil(0)
+			return Sat
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.enqueue(MkLit(int(v), !s.phase[v]), nil)
+	}
+}
+
+// learnClause attaches a learned clause and enqueues its asserting
+// literal.
+func (s *Solver) learnClause(learnt []Lit) {
+	switch len(learnt) {
+	case 0:
+		s.ok = false
+	case 1:
+		if s.decisionLevel() != 0 {
+			s.cancelUntil(0)
+		}
+		if s.value(learnt[0]) == 0 {
+			s.ok = false
+			return
+		}
+		if s.value(learnt[0]) == lUndef {
+			s.enqueue(learnt[0], nil)
+		}
+	default:
+		c := &clause{lits: append([]Lit(nil), learnt...), learned: true, act: s.claInc}
+		s.learnts = append(s.learnts, c)
+		s.attach(c)
+		if s.value(c.lits[0]) == lUndef {
+			s.enqueue(c.lits[0], c)
+		}
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}

@@ -1,0 +1,338 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForce decides satisfiability of a clause set over nVars
+// variables by exhaustive enumeration, honouring forced literals.
+func bruteForce(nVars int, clauses [][]Lit, forced []Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		val := func(l Lit) bool { return (m>>l.Var())&1 == 1 != l.Neg() }
+		good := true
+		for _, f := range forced {
+			if !val(f) {
+				good = false
+				break
+			}
+		}
+		if !good {
+			continue
+		}
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				if val(l) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				good = false
+				break
+			}
+		}
+		if good {
+			return true
+		}
+	}
+	return false
+}
+
+func newWithVars(n int) *Solver {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	return s
+}
+
+// checkModel verifies that the solver's model satisfies every clause.
+func checkModel(t *testing.T, s *Solver, clauses [][]Lit, forced []Lit) {
+	t.Helper()
+	for _, c := range clauses {
+		sat := false
+		for _, l := range c {
+			if s.ValueLit(l) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			t.Fatalf("model does not satisfy clause %v", c)
+		}
+	}
+	for _, f := range forced {
+		if !s.ValueLit(f) {
+			t.Fatalf("model violates assumption %s", f)
+		}
+	}
+}
+
+func TestRandom3SATVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(4*nVars)
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			width := 1 + rng.Intn(3)
+			c := make([]Lit, width)
+			for j := range c {
+				c[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			clauses[i] = c
+		}
+		s := newWithVars(nVars)
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		got := s.Solve()
+		want := bruteForce(nVars, clauses, nil)
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver says %v, brute force says sat=%v\nclauses: %v",
+				iter, got, want, clauses)
+		}
+		if got == Sat {
+			checkModel(t, s, clauses, nil)
+		}
+	}
+}
+
+func TestRandomWithAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 3 + rng.Intn(7)
+		nClauses := 2 + rng.Intn(3*nVars)
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			width := 1 + rng.Intn(3)
+			c := make([]Lit, width)
+			for j := range c {
+				c[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			clauses[i] = c
+		}
+		s := newWithVars(nVars)
+		unsatAtAdd := false
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				unsatAtAdd = true
+			}
+		}
+		// Several assumption-driven solves on the same solver: this is
+		// exactly the equivalence checker's usage pattern.
+		for k := 0; k < 4; k++ {
+			nAssump := rng.Intn(3)
+			assump := make([]Lit, nAssump)
+			for j := range assump {
+				assump[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			got := s.Solve(assump...)
+			want := !unsatAtAdd && bruteForce(nVars, clauses, assump)
+			if (got == Sat) != want {
+				t.Fatalf("iter %d/%d: solver %v, brute sat=%v\nclauses %v assump %v",
+					iter, k, got, want, clauses, assump)
+			}
+			if got == Sat {
+				checkModel(t, s, clauses, assump)
+			}
+		}
+	}
+}
+
+// pigeonhole encodes n+1 pigeons into n holes — classically UNSAT and
+// exponentially hard for resolution, so it exercises conflict analysis,
+// learning and restarts.
+func pigeonhole(n int) (*Solver, int) {
+	s := New()
+	// v(p, h) = pigeon p in hole h
+	v := func(p, h int) Lit { return MkLit(p*n+h, false) }
+	for p := 0; p < (n+1)*n; p++ {
+		s.NewVar()
+	}
+	for p := 0; p <= n; p++ {
+		c := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = v(p, h)
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(v(p1, h).Flip(), v(p2, h).Flip())
+			}
+		}
+	}
+	return s, (n + 1) * n
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s, _ := pigeonhole(n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("pigeonhole(%d): got %v, want UNSAT", n, got)
+		}
+	}
+}
+
+func TestConflictBudgetUnknown(t *testing.T) {
+	s, _ := pigeonhole(7)
+	s.SetConflictBudget(10)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("budgeted pigeonhole: got %v, want UNKNOWN", got)
+	}
+	// Removing the budget must still produce the right answer on the
+	// same solver instance (learned clauses are kept).
+	s.SetConflictBudget(0)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("unbudgeted pigeonhole: got %v, want UNSAT", got)
+	}
+}
+
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	s := newWithVars(3)
+	a, b, c := MkLit(0, false), MkLit(1, false), MkLit(2, false)
+	s.AddClause(a, b)
+	s.AddClause(a.Flip(), c)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("initial: got %v", got)
+	}
+	// Progressively constrain until UNSAT.
+	s.AddClause(b.Flip())
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("after ~b: got %v", got)
+	}
+	if !s.ValueLit(a) || !s.ValueLit(c) {
+		t.Fatalf("after ~b the model must set a and c")
+	}
+	s.AddClause(c.Flip())
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("after ~c: got %v", got)
+	}
+	// Once top-level UNSAT, everything stays UNSAT.
+	if s.AddClause(a) {
+		t.Fatalf("AddClause after top-level UNSAT must report false")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("solve after top-level UNSAT: got %v", got)
+	}
+}
+
+func TestUnsatUnderAssumptionsRecovers(t *testing.T) {
+	s := newWithVars(2)
+	a, b := MkLit(0, false), MkLit(1, false)
+	s.AddClause(a, b)
+	if got := s.Solve(a.Flip(), b.Flip()); got != Unsat {
+		t.Fatalf("contradictory assumptions: got %v", got)
+	}
+	// The solver must remain usable: the clause set itself is SAT.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solve after assumption UNSAT: got %v", got)
+	}
+	if got := s.Solve(a.Flip()); got != Sat {
+		t.Fatalf("solve(~a): got %v", got)
+	}
+	if !s.ValueLit(b) {
+		t.Fatalf("solve(~a) model must set b")
+	}
+}
+
+func TestXorChain(t *testing.T) {
+	// x0 ^ x1 ^ ... ^ x{n-1} = 1 via Tseitin-style chaining:
+	// t0 = x0, t{i} = t{i-1} ^ x{i}, assert t{n-1}. SAT; then also
+	// assert all x{i} = 0, which forces UNSAT.
+	const n = 20
+	s := New()
+	xs := make([]Lit, n)
+	for i := range xs {
+		xs[i] = MkLit(s.NewVar(), false)
+	}
+	prev := xs[0]
+	for i := 1; i < n; i++ {
+		ti := MkLit(s.NewVar(), false)
+		// ti <-> prev ^ xs[i]
+		s.AddClause(ti.Flip(), prev, xs[i])
+		s.AddClause(ti.Flip(), prev.Flip(), xs[i].Flip())
+		s.AddClause(ti, prev.Flip(), xs[i])
+		s.AddClause(ti, prev, xs[i].Flip())
+		prev = ti
+	}
+	s.AddClause(prev)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("xor chain: got %v", got)
+	}
+	// The model must have an odd number of true xs.
+	odd := false
+	for _, x := range xs {
+		if s.ValueLit(x) {
+			odd = !odd
+		}
+	}
+	if !odd {
+		t.Fatalf("xor-chain model has even parity")
+	}
+	// All-zero assumptions give even parity: UNSAT.
+	assump := make([]Lit, n)
+	for i, x := range xs {
+		assump[i] = x.Flip()
+	}
+	if got := s.Solve(assump...); got != Unsat {
+		t.Fatalf("xor chain all-zero: got %v", got)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := newWithVars(2)
+	a, b := MkLit(0, false), MkLit(1, false)
+	s.AddClause(a, a.Flip()) // tautology: ignored
+	s.AddClause(b, b, b)     // duplicates collapse to unit
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	if !s.ValueLit(b) {
+		t.Fatalf("unit b not honoured")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := newWithVars(1)
+	a := MkLit(0, false)
+	s.AddClause(a)
+	if s.AddClause(a.Flip()) {
+		t.Fatalf("contradictory units must report false")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	s, _ := pigeonhole(4)
+	s.Solve()
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Decisions == 0 || st.Propagations == 0 {
+		t.Fatalf("expected nonzero work counters, got %+v", st)
+	}
+	if st.Solves != 1 {
+		t.Fatalf("Solves = %d, want 1", st.Solves)
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MkLit(5, true)
+	if l.Var() != 5 || !l.Neg() {
+		t.Fatalf("MkLit round trip broken: %v", l)
+	}
+	if l.Flip().Neg() || l.Flip().Var() != 5 {
+		t.Fatalf("Flip broken")
+	}
+	if l.FlipIf(false) != l || l.FlipIf(true) != l.Flip() {
+		t.Fatalf("FlipIf broken")
+	}
+	if l.String() != "~v5" || l.Flip().String() != "v5" {
+		t.Fatalf("String broken: %s %s", l, l.Flip())
+	}
+}

@@ -12,8 +12,20 @@
 //	expect <port> <value> [value...] compare output lanes; mismatches fail
 //	expect_all <port> <value>        compare every lane to one value
 //	reset                            reset flip-flop state in every lane
+//	setff <i> <0|1>                  override flip-flop i's state in every
+//	                                 lane (netlist flip-flop order)
+//	expectff <i> <0|1>               compare flip-flop i's state in every
+//	                                 lane
+//	setbits <port> <value>           load an input of any width (every
+//	                                 lane); value may exceed 64 bits
+//	expectbits <port> <value>        compare an output of any width in
+//	                                 every lane
 //
-// Values may be decimal, 0x… hex or 0b… binary.
+// Values may be decimal, 0x… hex or 0b… binary; setbits/expectbits
+// values of more than 64 bits must use the 0x or 0b form. The ff and
+// bits directives drive every batch lane uniformly — they exist to
+// replay single-stimulus counterexamples from the equivalence checker
+// (see internal/equiv and docs/EQUIV.md).
 package testbench
 
 import (
@@ -36,6 +48,10 @@ const (
 	OpExpect
 	OpExpectAll
 	OpReset
+	OpSetFF
+	OpExpectFF
+	OpSetBits
+	OpExpectBits
 )
 
 // Directive is one parsed script line.
@@ -44,7 +60,10 @@ type Directive struct {
 	Line   int
 	Port   string
 	Values []uint64
-	Count  int // step count
+	Count  int    // step count
+	Index  int    // flip-flop index for setff/expectff
+	FFVal  bool   // flip-flop value for setff/expectff
+	Bits   []bool // LSB-first value for setbits/expectbits
 }
 
 // Script is a parsed testbench.
@@ -90,6 +109,43 @@ func Parse(src string) (*Script, error) {
 					return nil, fmt.Errorf("line %d: expect_all takes exactly one value", lineNo)
 				}
 			}
+		case "setff", "expectff":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: %s needs a flip-flop index and a 0/1 value", lineNo, fields[0])
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx < 0 {
+				return nil, fmt.Errorf("line %d: bad flip-flop index %q", lineNo, fields[1])
+			}
+			d.Index = idx
+			switch fields[2] {
+			case "0":
+				d.FFVal = false
+			case "1":
+				d.FFVal = true
+			default:
+				return nil, fmt.Errorf("line %d: flip-flop value must be 0 or 1, got %q", lineNo, fields[2])
+			}
+			if fields[0] == "setff" {
+				d.Op = OpSetFF
+			} else {
+				d.Op = OpExpectFF
+			}
+		case "setbits", "expectbits":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: %s needs a port and one value", lineNo, fields[0])
+			}
+			d.Port = fields[1]
+			bits, err := parseBits(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			d.Bits = bits
+			if fields[0] == "setbits" {
+				d.Op = OpSetBits
+			} else {
+				d.Op = OpExpectBits
+			}
 		case "step":
 			d.Op = OpStep
 			d.Count = 1
@@ -126,6 +182,79 @@ func parseValue(s string) (uint64, error) {
 		return 0, fmt.Errorf("bad value %q", s)
 	}
 	return v, nil
+}
+
+// parseBits parses a value of arbitrary bit width into an LSB-first bit
+// slice. Hex and binary literals keep their written width (4 bits per
+// hex digit); decimal values are limited to 64 bits.
+func parseBits(s string) ([]bool, error) {
+	digits := strings.ReplaceAll(s, "_", "")
+	switch {
+	case strings.HasPrefix(digits, "0x"), strings.HasPrefix(digits, "0X"):
+		digits = digits[2:]
+		if digits == "" {
+			return nil, fmt.Errorf("bad value %q", s)
+		}
+		bits := make([]bool, 0, 4*len(digits))
+		for i := len(digits) - 1; i >= 0; i-- {
+			v, err := strconv.ParseUint(string(digits[i]), 16, 8)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q", s)
+			}
+			for k := 0; k < 4; k++ {
+				bits = append(bits, v>>uint(k)&1 == 1)
+			}
+		}
+		return bits, nil
+	case strings.HasPrefix(digits, "0b"), strings.HasPrefix(digits, "0B"):
+		digits = digits[2:]
+		if digits == "" {
+			return nil, fmt.Errorf("bad value %q", s)
+		}
+		bits := make([]bool, 0, len(digits))
+		for i := len(digits) - 1; i >= 0; i-- {
+			switch digits[i] {
+			case '0':
+				bits = append(bits, false)
+			case '1':
+				bits = append(bits, true)
+			default:
+				return nil, fmt.Errorf("bad value %q", s)
+			}
+		}
+		return bits, nil
+	}
+	v, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad value %q", s)
+	}
+	bits := make([]bool, 64)
+	for k := range bits {
+		bits[k] = v>>uint(k)&1 == 1
+	}
+	return bits, nil
+}
+
+// FormatBits renders an LSB-first bit slice as a 0x literal accepted by
+// parseBits — the inverse used when generating counterexample scripts.
+func FormatBits(bits []bool) string {
+	if len(bits) == 0 {
+		return "0x0"
+	}
+	nDigits := (len(bits) + 3) / 4
+	var b strings.Builder
+	b.WriteString("0x")
+	for d := nDigits - 1; d >= 0; d-- {
+		v := 0
+		for k := 0; k < 4; k++ {
+			i := 4*d + k
+			if i < len(bits) && bits[i] {
+				v |= 1 << uint(k)
+			}
+		}
+		b.WriteByte("0123456789abcdef"[v])
+	}
+	return b.String()
 }
 
 // Result summarises a run.
@@ -218,6 +347,82 @@ func (s *Script) RunOpts(eng *simengine.Engine, opts RunOptions) (Result, error)
 		case OpReset:
 			eng.Reset()
 			settled = false
+		case OpSetFF:
+			fb := eng.Model().Feedback
+			if d.Index >= len(fb) {
+				return res, fmt.Errorf("line %d: flip-flop %d out of range (model has %d)",
+					d.Line, d.Index, len(fb))
+			}
+			for b := 0; b < batch; b++ {
+				eng.PokeUnit(fb[d.Index].ToPI, b, d.FFVal)
+			}
+			settled = false
+			res.Applied++
+		case OpSetBits:
+			for b := 0; b < batch; b++ {
+				if err := eng.SetInputBits(d.Port, b, d.Bits); err != nil {
+					return res, fmt.Errorf("line %d: %v", d.Line, err)
+				}
+			}
+			settled = false
+			res.Applied++
+		case OpExpectFF:
+			if !settled {
+				eng.Forward()
+				settled = true
+			}
+			fb := eng.Model().Feedback
+			if d.Index >= len(fb) {
+				return res, fmt.Errorf("line %d: flip-flop %d out of range (model has %d)",
+					d.Line, d.Index, len(fb))
+			}
+			if opts.Observer != nil {
+				res.Checks++
+				if err := opts.Observer(d.Line, fmt.Sprintf("ff[%d]", d.Index)); err != nil {
+					return res, fmt.Errorf("line %d: %v", d.Line, err)
+				}
+				continue
+			}
+			for b := 0; b < batch; b++ {
+				res.Checks++
+				got := eng.PeekUnit(fb[d.Index].ToPI, b)
+				if got != d.FFVal {
+					return res, fmt.Errorf("line %d: ff[%d] lane %d = %d, want %d",
+						d.Line, d.Index, b, b2u(got), b2u(d.FFVal))
+				}
+			}
+		case OpExpectBits:
+			if !settled {
+				eng.Forward()
+				settled = true
+			}
+			if opts.Observer != nil {
+				res.Checks++
+				if err := opts.Observer(d.Line, d.Port); err != nil {
+					return res, fmt.Errorf("line %d: %v", d.Line, err)
+				}
+				continue
+			}
+			for b := 0; b < batch; b++ {
+				bits, err := eng.GetOutputBits(d.Port, b)
+				if err != nil {
+					return res, fmt.Errorf("line %d: %v", d.Line, err)
+				}
+				res.Checks++
+				for i, bit := range bits {
+					wantBit := i < len(d.Bits) && d.Bits[i]
+					if bit != wantBit {
+						return res, fmt.Errorf("line %d: %s lane %d bit %d = %d, want %d",
+							d.Line, d.Port, b, i, b2u(bit), b2u(wantBit))
+					}
+				}
+				for i := len(bits); i < len(d.Bits); i++ {
+					if d.Bits[i] {
+						return res, fmt.Errorf("line %d: %s expectation sets bit %d but the port is %d bits wide",
+							d.Line, d.Port, i, len(bits))
+					}
+				}
+			}
 		case OpExpect, OpExpectAll:
 			if !settled {
 				eng.Forward()
