@@ -40,6 +40,8 @@ func main() {
 		faults    = flag.Bool("faults", false, "grade stuck-at fault coverage and report faults/s per backend")
 		equivF    = flag.Bool("equiv", false, "time the formal equivalence checker (CNF build + solve per circuit and L)")
 		equivOut  = flag.String("equiv-out", "", "write the -equiv rows as JSON to this file")
+		analyzeF  = flag.Bool("analyze", false, "run the static plan analyzer and correlate its cost model against measured layer times")
+		analyzeO  = flag.String("analyze-out", "", "write the -analyze rows as JSON to this file")
 		all       = flag.Bool("all", false, "run everything")
 		circuitsF = flag.String("circuits", "", "comma-separated circuit names for -table1 (default all)")
 		lsF       = flag.String("L", "3,7,11", "comma-separated LUT sizes for -table1")
@@ -232,6 +234,37 @@ func main() {
 		}
 		fmt.Println("\n=== Formal equivalence (SAT miters + per-LUT chain) ===")
 		fmt.Print(bench.FormatEquiv(rows))
+	}
+
+	if *analyzeF || *all {
+		ran = true
+		cfg := bench.DefaultAnalyzeConfig()
+		cfg.Batch = *batch
+		cfg.MinMeasure = time.Duration(*minMs) * time.Millisecond
+		cfg.Trace = tr
+		var names []string
+		if *circuitsF != "" {
+			for _, s := range strings.Split(*circuitsF, ",") {
+				names = append(names, strings.TrimSpace(s))
+			}
+		}
+		rows, err := bench.RunAnalyze(names, cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if *analyzeO != "" {
+			f, err := os.Create(*analyzeO)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteAnalyzeJSON(f, rows); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Println("\n=== Static plan analysis (clusters, cost model, aliasing proof) ===")
+		fmt.Print(bench.FormatAnalyze(rows))
 	}
 
 	if *influence || *all {

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"c2nn/internal/circuits"
+	"c2nn/internal/exec/analyze"
+	"c2nn/internal/exec/plan"
+	"c2nn/internal/irlint/diag"
+	"c2nn/internal/lutmap"
+	"c2nn/internal/netlist"
+	"c2nn/internal/nn"
+	"c2nn/internal/synth"
+	"c2nn/internal/verilog"
+)
+
+// clusterLine is one cluster's row in the -clusters breakdown.
+type clusterLine struct {
+	Cluster   int   `json:"cluster"`
+	Layer     int   `json:"layer"`
+	Component int   `json:"component"`
+	Rows      int   `json:"rows"`
+	NNZ       int   `json:"nnz"`
+	WordOps   int64 `json:"word_ops"`
+	Roots     int   `json:"roots"`
+	Preds     int   `json:"preds"`
+}
+
+// analyzeReport is the machine-readable envelope of one "c2nn analyze"
+// target — the static analysis of its compiled execution plan.
+type analyzeReport struct {
+	Circuit      string               `json:"circuit"`
+	L            int                  `json:"l"`
+	Layers       int                  `json:"layers"`
+	TotalUnits   int                  `json:"total_units"`
+	ArenaUnits   int                  `json:"arena_units"`
+	Components   int32                `json:"components"`
+	Clusters     int                  `json:"clusters"`
+	Cost         *analyze.CostReport  `json:"cost"`
+	Degenerate   *analyze.DegenReport `json:"degenerate"`
+	ClusterTable []clusterLine        `json:"cluster_table"`
+	Diags        []diag.Diagnostic    `json:"diagnostics"`
+}
+
+// runAnalyze implements the "c2nn analyze" subcommand: compile targets
+// to execution plans and run the static analyzer — cone clustering,
+// cost model, aliasing proof, degenerate rows — reporting per layer and
+// per cluster. Exit status is nonzero only on Error diagnostics.
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("c2nn analyze", flag.ExitOnError)
+	var (
+		lutSize    = fs.Int("L", 7, "LUT size (max inputs per Boolean function)")
+		topMod     = fs.String("topmod", "", "top module name for Verilog file targets (default: inferred)")
+		circuit    = fs.String("circuit", "", "analyze a built-in benchmark circuit")
+		all        = fs.Bool("all", false, "analyze every built-in benchmark circuit")
+		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+		topN       = fs.Int("top", 10, "rows of the hottest-layer cost table (0 disables)")
+		showClus   = fs.Bool("clusters", false, "print the per-cluster breakdown")
+		noMerge    = fs.Bool("no-merge", false, "disable layer merging")
+		useFlowmap = fs.Bool("flowmap", false, "use the FlowMap depth-optimal mapper")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: c2nn analyze [-all | -circuit name | file.v ...] [-L n] [-json] [-top n] [-clusters]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type target struct {
+		name string
+		nl   func() (*netlist.Netlist, error)
+	}
+	var targets []target
+	switch {
+	case *all:
+		for _, c := range circuits.All() {
+			c := c
+			targets = append(targets, target{name: c.Name, nl: c.Elaborate})
+		}
+	case *circuit != "":
+		c, err := circuits.ByName(*circuit)
+		if err != nil {
+			return err
+		}
+		targets = append(targets, target{name: c.Name, nl: c.Elaborate})
+	case fs.NArg() > 0:
+		sources := make(map[string]string, fs.NArg())
+		var order []string
+		for _, f := range fs.Args() {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			sources[f] = string(data)
+			order = append(order, f)
+		}
+		targets = append(targets, target{
+			name: strings.Join(fs.Args(), " "),
+			nl: func() (*netlist.Netlist, error) {
+				design, err := verilog.BuildDesign(sources, order)
+				if err != nil {
+					return nil, err
+				}
+				return synth.Elaborate(design, synth.Options{Top: *topMod, Optimize: true})
+			},
+		})
+	default:
+		return fmt.Errorf("no input: pass Verilog files, -circuit or -all (see c2nn analyze -h)")
+	}
+
+	var reports []analyzeReport
+	failed := false
+	for _, t := range targets {
+		rep, err := analyzeTarget(t.name, t.nl, *lutSize, !*noMerge, *useFlowmap)
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.name, err)
+		}
+		for _, d := range rep.Diags {
+			if d.Severity == diag.Error {
+				failed = true
+				break
+			}
+		}
+		reports = append(reports, *rep)
+		if !*jsonOut {
+			printAnalyzeText(rep, *topN, *showClus)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(reports) == 1 {
+			if err := enc.Encode(reports[0]); err != nil {
+				return err
+			}
+		} else if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	}
+	if failed {
+		return fmt.Errorf("error diagnostics found")
+	}
+	return nil
+}
+
+// analyzeTarget compiles one netlist to a plan and runs the analyzer.
+func analyzeTarget(name string, elab func() (*netlist.Netlist, error), lutSize int, merge, useFlowmap bool) (*analyzeReport, error) {
+	nl, err := elab()
+	if err != nil {
+		return nil, err
+	}
+	alg := lutmap.PriorityCuts
+	if useFlowmap {
+		alg = lutmap.FlowMap
+	}
+	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: lutSize, Algorithm: alg})
+	if err != nil {
+		return nil, err
+	}
+	model, err := nn.Build(nl, m, nn.BuildOptions{Merge: merge, L: lutSize})
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Compile(model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := analyze.Run(p, analyze.Options{})
+	if err != nil {
+		return nil, err
+	}
+	r := &diag.Report{}
+	r.Add(res.Diags...)
+	r.Sort()
+	table := make([]clusterLine, 0, len(res.Meta.Clusters))
+	for _, cc := range analyze.ClusterCosts(p) {
+		c := &res.Meta.Clusters[cc.Cluster]
+		table = append(table, clusterLine{
+			Cluster: cc.Cluster, Layer: cc.Layer, Component: cc.Component,
+			Rows: cc.Rows, NNZ: cc.NNZ, WordOps: cc.PackedWordOps,
+			Roots: len(c.Roots), Preds: len(c.Preds),
+		})
+	}
+	return &analyzeReport{
+		Circuit:      name,
+		L:            lutSize,
+		Layers:       len(p.Layers),
+		TotalUnits:   model.Net.TotalUnits,
+		ArenaUnits:   p.ArenaUnits,
+		Components:   res.Meta.NumComponents,
+		Clusters:     len(res.Meta.Clusters),
+		Cost:         res.Cost,
+		Degenerate:   res.Degenerate,
+		ClusterTable: table,
+		Diags:        r.Diags,
+	}, nil
+}
+
+// printAnalyzeText renders one report for the terminal: the summary
+// line, the hottest-layer cost table and optionally every cluster.
+func printAnalyzeText(rep *analyzeReport, topN int, showClusters bool) {
+	fmt.Printf("%s (L=%d): %d layers, %d components, %d clusters, arena %d/%d units\n",
+		rep.Circuit, rep.L, rep.Layers, rep.Components, rep.Clusters,
+		rep.ArenaUnits, rep.TotalUnits)
+	fmt.Printf("  cost: %d float MACs, %d packed word ops (%d plane adds + %d compare passes), intensity %.3f ops/byte, critical path %d\n",
+		rep.Cost.Total.FloatMACs, rep.Cost.Total.PackedWordOps,
+		rep.Cost.Total.PlaneAdds, rep.Cost.Total.ComparePasses,
+		rep.Cost.Total.Intensity, rep.Cost.Total.CriticalPath)
+
+	classes := make([]string, 0, len(rep.Degenerate.ByClass))
+	for c := range rep.Degenerate.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, rep.Degenerate.ByClass[c]))
+	}
+	fmt.Printf("  rows: %d (%s)\n", rep.Degenerate.TotalRows, strings.Join(parts, " "))
+
+	if topN > 0 {
+		hot := make([]analyze.LayerCost, len(rep.Cost.Layers))
+		copy(hot, rep.Cost.Layers)
+		sort.SliceStable(hot, func(i, j int) bool {
+			if hot[i].PackedWordOps != hot[j].PackedWordOps {
+				return hot[i].PackedWordOps > hot[j].PackedWordOps
+			}
+			return hot[i].Layer < hot[j].Layer
+		})
+		if len(hot) > topN {
+			hot = hot[:topN]
+		}
+		fmt.Printf("  %-6s %-15s %8s %9s %9s %10s %9s\n",
+			"layer", "kernel", "rows", "nnz", "clusters", "word-ops", "ops/byte")
+		for _, lc := range hot {
+			fmt.Printf("  %-6d %-15s %8d %9d %9d %10d %9.3f\n",
+				lc.Layer, lc.Kernel, lc.Rows, lc.NNZ, lc.Clusters, lc.PackedWordOps, lc.Intensity)
+		}
+	}
+
+	if showClusters {
+		fmt.Printf("  %-8s %-6s %-10s %6s %8s %10s %6s %6s\n",
+			"cluster", "layer", "component", "rows", "nnz", "word-ops", "roots", "preds")
+		for _, cl := range rep.ClusterTable {
+			fmt.Printf("  %-8d %-6d %-10d %6d %8d %10d %6d %6d\n",
+				cl.Cluster, cl.Layer, cl.Component, cl.Rows, cl.NNZ, cl.WordOps, cl.Roots, cl.Preds)
+		}
+	}
+
+	for _, d := range rep.Diags {
+		fmt.Printf("  %s\n", d)
+	}
+}

@@ -8,6 +8,8 @@
 //	c2nn -o aes.c2nn -L 11 -circuit AES
 //	c2nn lint -all
 //	c2nn lint -circuit AES -L 4 -json
+//	c2nn analyze -circuit UART -L 4 -top 10 -clusters
+//	c2nn analyze -all -json
 //	c2nn fault -tb testbenches/uart_smoke.tb -backend bitpacked -json
 //	c2nn fault -circuit SPI -random 64 -limit 2000
 //	c2nn profile -circuit UART -backend bitpacked -trace trace.json
@@ -129,6 +131,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "fault" {
 		if err := runFault(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "c2nn fault:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		if err := runAnalyze(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "c2nn analyze:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,178 @@
+package analyze
+
+import (
+	"errors"
+
+	"c2nn/internal/exec/plan"
+	"c2nn/internal/simengine"
+)
+
+// Probe observes the dynamic counterpart of the static clustering: it
+// samples the sequential roots (input ports and FF Q bits) of a running
+// engine after every clock step, propagates dirtiness through the
+// cluster graph exactly as the activity-driven backend will, and
+// tallies how many clusters — and how much of the static cost — each
+// step would actually have to recompute. The dirty fraction it reports
+// is the upper bound on activity-driven speedup for that workload.
+//
+// Hook it into a testbench with Script.RunOpts:
+//
+//	pr, _ := analyze.NewProbe(eng)
+//	script.RunOpts(eng, testbench.RunOptions{Trace: func(int) error {
+//		pr.Sample()
+//		return nil
+//	}})
+//	stats := pr.Stats()
+//
+// Sampling reads lane 0 only: the testbench drives every lane with the
+// same clocking, and root toggles are what matter, not payload values.
+type Probe struct {
+	eng *simengine.Engine
+
+	// rootUnits[r] are the PI-block units whose lane-0 values make up
+	// root r's sampled state (port bits, or the single FF Q bit).
+	rootUnits [][]int32
+	prev      [][]bool
+	first     bool
+
+	// clusterCost[c] is the static packed-word-op price of cluster c.
+	clusterCost []int64
+	totalCost   int64
+
+	steps      int
+	dirtySum   int64 // Σ dirty clusters per step
+	dirtyCost  int64 // Σ static cost of dirty clusters per step
+	dirty      []bool
+	rootDirty  []bool
+	rootOfIdxs [][]int32 // cluster -> root indices (flattened refs)
+}
+
+// ActivityStats summarises a probe run.
+type ActivityStats struct {
+	// Steps is the number of sampled clock steps.
+	Steps int `json:"steps"`
+	// Clusters is the cluster count of the plan.
+	Clusters int `json:"clusters"`
+	// AvgDirtyClusters is the mean dirty-cluster count per step.
+	AvgDirtyClusters float64 `json:"avg_dirty_clusters"`
+	// DirtyFraction is the mean fraction of clusters dirty per step.
+	DirtyFraction float64 `json:"dirty_fraction"`
+	// DirtyCostFraction weights the dirty fraction by static cluster
+	// cost — the fraction of packed word ops activity-driven execution
+	// would actually spend.
+	DirtyCostFraction float64 `json:"dirty_cost_fraction"`
+}
+
+// NewProbe builds an activity probe over the engine's plan. The plan
+// must carry cluster metadata (run Cones or Run first).
+func NewProbe(eng *simengine.Engine) (*Probe, error) {
+	p := eng.Plan()
+	if p.Clusters == nil {
+		return nil, errors.New("analyze: plan carries no cluster metadata (run analyze.Run first)")
+	}
+	meta := p.Clusters
+	m := eng.Model()
+
+	pr := &Probe{eng: eng, first: true}
+	// Root order mirrors Cones: ports first, then feedback.
+	for _, port := range m.Inputs {
+		pr.rootUnits = append(pr.rootUnits, port.Units)
+	}
+	for _, fb := range m.Feedback {
+		pr.rootUnits = append(pr.rootUnits, []int32{fb.ToPI})
+	}
+	pr.prev = make([][]bool, len(pr.rootUnits))
+	for r := range pr.prev {
+		pr.prev[r] = make([]bool, len(pr.rootUnits[r]))
+	}
+	pr.rootDirty = make([]bool, len(pr.rootUnits))
+	pr.dirty = make([]bool, len(meta.Clusters))
+
+	costs := ClusterCosts(p)
+	pr.clusterCost = make([]int64, len(costs))
+	for i, cc := range costs {
+		pr.clusterCost[i] = cc.PackedWordOps
+		pr.totalCost += cc.PackedWordOps
+	}
+	numPorts := len(m.Inputs)
+	pr.rootOfIdxs = make([][]int32, len(meta.Clusters))
+	for ci := range meta.Clusters {
+		for _, ref := range meta.Clusters[ci].Roots {
+			idx := ref.Index
+			if ref.Kind == plan.RootFF {
+				idx += int32(numPorts)
+			}
+			pr.rootOfIdxs[ci] = append(pr.rootOfIdxs[ci], idx)
+		}
+	}
+	return pr, nil
+}
+
+// Sample reads the roots, diffs against the previous sample and tallies
+// the clusters the step dirtied. The first sample counts everything
+// dirty (there is no previous state to diff against — exactly the
+// backend's first-pass behaviour).
+func (pr *Probe) Sample() {
+	for r, units := range pr.rootUnits {
+		toggled := false
+		for i, u := range units {
+			v := pr.eng.PeekUnit(u, 0)
+			if v != pr.prev[r][i] {
+				toggled = true
+				pr.prev[r][i] = v
+			}
+		}
+		pr.rootDirty[r] = toggled || pr.first
+	}
+	pr.first = false
+
+	meta := pr.eng.Plan().Clusters
+	// Forward pass in cluster order (sorted by layer, so predecessors
+	// come first).
+	var nDirty int
+	var costDirty int64
+	for ci := range meta.Clusters {
+		d := false
+		for _, ri := range pr.rootOfIdxs[ci] {
+			if pr.rootDirty[ri] {
+				d = true
+				break
+			}
+		}
+		if !d {
+			for _, pc := range meta.Clusters[ci].Preds {
+				if pr.dirty[pc] {
+					d = true
+					break
+				}
+			}
+		}
+		pr.dirty[ci] = d
+		if d {
+			nDirty++
+			if ci < len(pr.clusterCost) {
+				costDirty += pr.clusterCost[ci]
+			}
+		}
+	}
+	pr.steps++
+	pr.dirtySum += int64(nDirty)
+	pr.dirtyCost += costDirty
+}
+
+// Stats returns the accumulated activity summary.
+func (pr *Probe) Stats() ActivityStats {
+	meta := pr.eng.Plan().Clusters
+	st := ActivityStats{Steps: pr.steps, Clusters: len(meta.Clusters)}
+	if pr.steps == 0 {
+		return st
+	}
+	st.AvgDirtyClusters = float64(pr.dirtySum) / float64(pr.steps)
+	if st.Clusters > 0 {
+		st.DirtyFraction = st.AvgDirtyClusters / float64(st.Clusters)
+	}
+	if pr.totalCost > 0 {
+		st.DirtyCostFraction = float64(pr.dirtyCost) / (float64(pr.totalCost) * float64(pr.steps))
+	}
+	return st
+}

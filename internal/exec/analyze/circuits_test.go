@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"c2nn/internal/circuits"
+	"c2nn/internal/exec/plan"
+	"c2nn/internal/irlint/diag"
+	"c2nn/internal/lutmap"
+	"c2nn/internal/nn"
+	"c2nn/internal/raceflag"
+)
+
+// compileCircuit lowers a benchmark circuit to an execution plan.
+func compileCircuit(t *testing.T, c circuits.Circuit, l int) *plan.Plan {
+	t.Helper()
+	nl, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lutmap.MapNetlist(nl, lutmap.Options{K: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := nn.Build(nl, m, nn.BuildOptions{Merge: true, L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Compile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBenchmarkCircuitsAliasClean is the aliasing proof over the whole
+// benchmark suite: every circuit at every paper L compiles to a plan
+// the analyzer certifies free of Error- and Warning-severity
+// diagnostics (constant rows and dead clusters are Info observations).
+func TestBenchmarkCircuitsAliasClean(t *testing.T) {
+	ls := []int{4, 7, 11}
+	if raceflag.Enabled {
+		// L=11 compiles are minutes-scale under the race detector; the
+		// plain `go test ./...` build still proves the full matrix.
+		ls = []int{4, 7}
+	}
+	if testing.Short() {
+		ls = []int{4}
+	}
+	for _, c := range circuits.All() {
+		for _, l := range ls {
+			c, l := c, l
+			t.Run(fmt.Sprintf("%s/L=%d", c.Name, l), func(t *testing.T) {
+				t.Parallel()
+				p := compileCircuit(t, c, l)
+				res, err := Run(p, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range res.Diags {
+					if d.Severity == diag.Error || d.Severity == diag.Warning {
+						t.Errorf("unexpected %s: %s", d.Severity, d)
+					}
+				}
+				if len(res.Meta.Clusters) == 0 {
+					t.Fatal("no clusters derived")
+				}
+			})
+		}
+	}
+}
+
+// TestClusterMetaStableAcrossCircuits recompiles every benchmark
+// circuit and requires the cluster metadata to (a) round-trip through
+// serialization bit for bit and structurally, and (b) come out
+// identical on an independent recompile — the determinism the
+// activity-driven backend will rely on when it loads clusters from a
+// plan compiled elsewhere.
+func TestClusterMetaStableAcrossCircuits(t *testing.T) {
+	for _, c := range circuits.All() {
+		for _, l := range []int{4, 7} {
+			c, l := c, l
+			t.Run(fmt.Sprintf("%s/L=%d", c.Name, l), func(t *testing.T) {
+				t.Parallel()
+				meta1, err := Cones(compileCircuit(t, c, l))
+				if err != nil {
+					t.Fatal(err)
+				}
+				meta2, err := Cones(compileCircuit(t, c, l))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf1, buf2 bytes.Buffer
+				if _, err := meta1.WriteTo(&buf1); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := meta2.WriteTo(&buf2); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+					t.Fatal("independent recompiles serialize different cluster metadata")
+				}
+				back, err := plan.ReadClusterMeta(&buf1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(meta1, back) {
+					t.Fatal("cluster metadata did not round-trip through serialization")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package plan
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Cluster metadata: the serialized product of the static cone-of-
+// influence analysis (internal/exec/analyze). The types live here, next
+// to the Plan they annotate, so that the analyzer (which imports plan)
+// and the future activity-driven backend (which plan must not import)
+// share one definition without an import cycle.
+//
+// The model: every network unit sits in the influence cone of a set of
+// sequential roots — input ports and flip-flop Q bits. Units whose
+// cones overlap anywhere are merged into one component (union-find over
+// the layer reads), and each layer's rows are partitioned by component:
+// one cluster per (layer, component) pair that has rows. A cluster
+// carries the roots its rows read directly and edges to the clusters
+// that produced its other inputs, so cleanliness propagates forward:
+//
+//	dirty(cluster) = any direct root toggled ∨ any predecessor dirty
+//
+// A clean cluster's rows cannot change and the backend may skip them —
+// the static foundation of activity-driven execution (ROADMAP item 2).
+
+// RootKind classifies a sequential root of the influence analysis.
+type RootKind uint8
+
+// Root kinds.
+const (
+	// RootPort is a primary-input port: Index is the position in
+	// Model.Inputs. All bits of a port toggle together for dirtiness
+	// purposes (stimulus is loaded per port).
+	RootPort RootKind = iota
+	// RootFF is a flip-flop Q bit: Index is the position in
+	// Model.Feedback.
+	RootFF
+)
+
+// String names the root kind.
+func (k RootKind) String() string {
+	switch k {
+	case RootPort:
+		return "port"
+	case RootFF:
+		return "ff"
+	}
+	return fmt.Sprintf("rootkind(%d)", uint8(k))
+}
+
+// RootRef names one sequential root.
+type RootRef struct {
+	Kind  RootKind
+	Index int32
+}
+
+// Cluster is one (layer, component) partition cell: a maximal set of
+// rows of one layer whose influence cones belong to the same component.
+type Cluster struct {
+	// Layer is the plan layer whose rows this cluster partitions.
+	Layer int32
+	// Component is the global cone component the rows belong to.
+	Component int32
+	// Rows are the row indices of Layer in this cluster, ascending.
+	Rows []int32
+	// Roots are the sequential roots rows of this cluster read
+	// directly (sorted by kind then index, deduplicated).
+	Roots []RootRef
+	// Preds are indices into ClusterMeta.Clusters of the clusters
+	// whose output rows this cluster reads (sorted, deduplicated).
+	// Cleanliness propagates along these edges.
+	Preds []int32
+}
+
+// ClusterMeta is the full clustering of a plan.
+type ClusterMeta struct {
+	// NumComponents is the number of distinct cone components.
+	NumComponents int32
+	// Clusters is every (layer, component) cluster, sorted by layer
+	// then component — execution order for forward propagation.
+	Clusters []Cluster
+	// RowCluster maps [layer][row] to an index into Clusters.
+	RowCluster [][]int32
+}
+
+// ClusterAt returns the cluster covering the given layer row, or nil.
+func (m *ClusterMeta) ClusterAt(layer, row int) *Cluster {
+	if layer < 0 || layer >= len(m.RowCluster) {
+		return nil
+	}
+	rc := m.RowCluster[layer]
+	if row < 0 || row >= len(rc) {
+		return nil
+	}
+	ci := rc[row]
+	if ci < 0 || int(ci) >= len(m.Clusters) {
+		return nil
+	}
+	return &m.Clusters[ci]
+}
+
+// clusterMetaMagic and clusterMetaVersion pin the serialized format.
+const (
+	clusterMetaMagic   = "C2NNCLST"
+	clusterMetaVersion = 1
+)
+
+// WriteTo serializes the metadata in a deterministic binary format
+// (little-endian, no maps), so identical clusterings produce identical
+// bytes — the property the cross-compile regression test pins.
+func (m *ClusterMeta) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	put := func(v int32) { binary.Write(cw, binary.LittleEndian, v) }
+	io.WriteString(cw, clusterMetaMagic)
+	put(clusterMetaVersion)
+	put(m.NumComponents)
+	put(int32(len(m.Clusters)))
+	for i := range m.Clusters {
+		c := &m.Clusters[i]
+		put(c.Layer)
+		put(c.Component)
+		put(int32(len(c.Rows)))
+		for _, r := range c.Rows {
+			put(r)
+		}
+		put(int32(len(c.Roots)))
+		for _, rt := range c.Roots {
+			put(int32(rt.Kind))
+			put(rt.Index)
+		}
+		put(int32(len(c.Preds)))
+		for _, p := range c.Preds {
+			put(p)
+		}
+	}
+	put(int32(len(m.RowCluster)))
+	for _, rc := range m.RowCluster {
+		put(int32(len(rc)))
+		for _, ci := range rc {
+			put(ci)
+		}
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadClusterMeta deserializes metadata written by WriteTo.
+func ReadClusterMeta(r io.Reader) (*ClusterMeta, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(clusterMetaMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("plan: reading cluster metadata: %w", err)
+	}
+	if string(magic) != clusterMetaMagic {
+		return nil, fmt.Errorf("plan: bad cluster metadata magic %q", magic)
+	}
+	get := func() (int32, error) {
+		var v int32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	mustLen := func(what string) (int, error) {
+		n, err := get()
+		if err != nil {
+			return 0, err
+		}
+		if n < 0 || n > 1<<28 {
+			return 0, fmt.Errorf("plan: cluster metadata %s length %d out of range", what, n)
+		}
+		return int(n), nil
+	}
+	ver, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if ver != clusterMetaVersion {
+		return nil, fmt.Errorf("plan: cluster metadata version %d, want %d", ver, clusterMetaVersion)
+	}
+	m := &ClusterMeta{}
+	if m.NumComponents, err = get(); err != nil {
+		return nil, err
+	}
+	nc, err := mustLen("cluster table")
+	if err != nil {
+		return nil, err
+	}
+	if nc > 0 {
+		m.Clusters = make([]Cluster, nc)
+	}
+	for i := range m.Clusters {
+		c := &m.Clusters[i]
+		if c.Layer, err = get(); err != nil {
+			return nil, err
+		}
+		if c.Component, err = get(); err != nil {
+			return nil, err
+		}
+		nr, err := mustLen("row list")
+		if err != nil {
+			return nil, err
+		}
+		if nr > 0 {
+			c.Rows = make([]int32, nr)
+		}
+		for j := range c.Rows {
+			if c.Rows[j], err = get(); err != nil {
+				return nil, err
+			}
+		}
+		nroots, err := mustLen("root list")
+		if err != nil {
+			return nil, err
+		}
+		if nroots > 0 {
+			c.Roots = make([]RootRef, nroots)
+		}
+		for j := range c.Roots {
+			k, err := get()
+			if err != nil {
+				return nil, err
+			}
+			c.Roots[j].Kind = RootKind(k)
+			if c.Roots[j].Index, err = get(); err != nil {
+				return nil, err
+			}
+		}
+		npred, err := mustLen("pred list")
+		if err != nil {
+			return nil, err
+		}
+		if npred > 0 {
+			c.Preds = make([]int32, npred)
+		}
+		for j := range c.Preds {
+			if c.Preds[j], err = get(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nl, err := mustLen("layer table")
+	if err != nil {
+		return nil, err
+	}
+	if nl > 0 {
+		m.RowCluster = make([][]int32, nl)
+	}
+	for li := range m.RowCluster {
+		nr, err := mustLen("row-cluster table")
+		if err != nil {
+			return nil, err
+		}
+		if nr > 0 {
+			m.RowCluster[li] = make([]int32, nr)
+		}
+		for r := range m.RowCluster[li] {
+			if m.RowCluster[li][r], err = get(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// countWriter tracks bytes written and latches the first error so the
+// serializer body stays free of per-write error plumbing.
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -101,6 +101,11 @@ type Plan struct {
 	Slot []int32
 	// Layers are the lowered layers, in execution order.
 	Layers []Layer
+	// Clusters is the cone-of-influence clustering of the plan's rows,
+	// attached by internal/exec/analyze (nil until then). It is the
+	// metadata the activity-driven backend consumes to skip clean
+	// clusters; see cluster.go for the format and the serialization.
+	Clusters *ClusterMeta
 }
 
 // Options tunes plan compilation.

@@ -7,6 +7,7 @@ import (
 	"c2nn/internal/lutmap"
 	"c2nn/internal/nn"
 	"c2nn/internal/synth"
+	"c2nn/internal/tensor"
 )
 
 const crcSrc = `
@@ -265,5 +266,127 @@ func TestArenaAllocator(t *testing.T) {
 	}
 	if a.top != 23 {
 		t.Fatalf("top moved to %d", a.top)
+	}
+}
+
+// deadInteriorModel hand-builds a two-layer network whose first layer
+// has zero live activations: unit 3 drives no later layer, output or
+// latch, so under arena reuse the whole layer-0 block dies the moment
+// the layer finishes and layer 1 can recycle it.
+func deadInteriorModel() *nn.Model {
+	// Units: 0 const, 1..2 PIs, 3 layer-0 row (dead), 4 layer-1 row.
+	w0 := &tensor.CSR{Rows: 1, Cols: 2,
+		RowPtr: []int32{0, 1}, Col: []int32{1}, Val: []float32{1}}
+	w1 := &tensor.CSR{Rows: 1, Cols: 3,
+		RowPtr: []int32{0, 1}, Col: []int32{2}, Val: []float32{1}}
+	net := &nn.Network{
+		NumPIs:     2,
+		SegStart:   []int32{3, 4},
+		TotalUnits: 5,
+		Layers: []nn.Layer{
+			{W: w0, Bias: []float32{0}, Threshold: true},
+			{W: w1, Bias: []float32{0}, Threshold: true},
+		},
+	}
+	return &nn.Model{
+		Net:     net,
+		Inputs:  []nn.PortMap{{Name: "a", Units: []int32{1}}, {Name: "b", Units: []int32{2}}},
+		Outputs: []nn.PortMap{{Name: "y", Units: []int32{4}}},
+	}
+}
+
+// TestArenaEdgeCases is the arena allocator's corner-case table: each
+// entry compiles a model under specific options, asserts the expected
+// arena shape, and — for the negative rows — applies a mutation that
+// the plan lint must still catch in that mode.
+func TestArenaEdgeCases(t *testing.T) {
+	crc := func(t *testing.T) *nn.Model { return buildModel(t, 3, false) }
+	dead := func(t *testing.T) *nn.Model { return deadInteriorModel() }
+	cases := []struct {
+		name   string
+		model  func(t *testing.T) *nn.Model
+		opts   Options
+		check  func(t *testing.T, m *nn.Model, p *Plan)
+		mutate func(p *Plan) bool // negative rows: corruption to detect
+		rule   string             // ...and the rule that must fire
+	}{
+		{name: "reuse-shrinks-deep-net", model: crc,
+			check: func(t *testing.T, m *nn.Model, p *Plan) {
+				if p.ArenaUnits >= m.Net.TotalUnits {
+					t.Fatalf("arena %d did not shrink below flat layout %d",
+						p.ArenaUnits, m.Net.TotalUnits)
+				}
+			}},
+		{name: "disable-reuse-flat", model: crc,
+			opts: Options{DisableArenaReuse: true},
+			check: func(t *testing.T, m *nn.Model, p *Plan) {
+				if p.ArenaUnits != m.Net.TotalUnits {
+					t.Fatalf("reuse-free arena is %d units, flat layout is %d",
+						p.ArenaUnits, m.Net.TotalUnits)
+				}
+				seen := make(map[int32]int32, len(p.Slot))
+				for u, s := range p.Slot {
+					if prev, dup := seen[s]; dup {
+						t.Fatalf("units %d and %d share slot %d without reuse", prev, u, s)
+					}
+					seen[s] = int32(u)
+				}
+			}},
+		{name: "zero-activation-layer-recycled", model: dead,
+			check: func(t *testing.T, m *nn.Model, p *Plan) {
+				// Layer 0's block is dead on arrival: layer 1 must recycle
+				// it, keeping the arena below the flat layout.
+				if p.ArenaUnits >= m.Net.TotalUnits {
+					t.Fatalf("dead interior row not recycled: arena %d, flat %d",
+						p.ArenaUnits, m.Net.TotalUnits)
+				}
+			}},
+		{name: "zero-activation-layer-kept", model: dead,
+			opts: Options{DisableArenaReuse: true},
+			check: func(t *testing.T, m *nn.Model, p *Plan) {
+				if p.ArenaUnits != m.Net.TotalUnits {
+					t.Fatalf("reuse-free arena is %d units, flat layout is %d",
+						p.ArenaUnits, m.Net.TotalUnits)
+				}
+			}},
+		{name: "disable-reuse-block-overlap", model: crc,
+			opts: Options{DisableArenaReuse: true},
+			mutate: func(p *Plan) bool {
+				if len(p.Layers) < 2 {
+					return false
+				}
+				p.Layers[1].OutSlot = p.Layers[0].OutSlot
+				return true
+			}, rule: "EX003"},
+		{name: "zero-activation-arena-truncated", model: dead,
+			mutate: func(p *Plan) bool {
+				p.ArenaUnits--
+				return true
+			}, rule: "EX001"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.model(t)
+			p, err := CompileOpts(m, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.mutate == nil {
+				if ds := p.Lint(); len(ds) != 0 {
+					t.Fatalf("clean compile lints dirty: %v", ds)
+				}
+				tc.check(t, m, p)
+				return
+			}
+			if !tc.mutate(p) {
+				t.Skip("plan shape does not admit this mutation")
+			}
+			for _, d := range p.Lint() {
+				if d.Rule == tc.rule {
+					return
+				}
+			}
+			t.Fatalf("mutation not caught by %s", tc.rule)
+		})
 	}
 }

@@ -74,6 +74,7 @@ const (
 	StagePoly    Stage = "poly"    // multi-linear polynomials
 	StageNN      Stage = "nn"      // threshold neural network
 	StagePlan    Stage = "plan"    // lowered execution plan
+	StageAnalyze Stage = "analyze" // static plan analysis (cones, cost, aliasing)
 	StageFault   Stage = "fault"   // fault universe + lane overlays
 	StageEquiv   Stage = "equiv"   // cross-stage equivalence proofs
 )
@@ -81,12 +82,12 @@ const (
 // stageOrder gives the pipeline position of each stage for sorting.
 var stageOrder = map[Stage]int{
 	StageAST: 0, StageNetlist: 1, StageAIG: 2, StageLUT: 3, StagePoly: 4, StageNN: 5,
-	StagePlan: 6, StageFault: 7, StageEquiv: 8,
+	StagePlan: 6, StageAnalyze: 7, StageFault: 8, StageEquiv: 9,
 }
 
 // Stages returns all stages in pipeline order.
 func Stages() []Stage {
-	return []Stage{StageAST, StageNetlist, StageAIG, StageLUT, StagePoly, StageNN, StagePlan, StageFault, StageEquiv}
+	return []Stage{StageAST, StageNetlist, StageAIG, StageLUT, StagePoly, StageNN, StagePlan, StageAnalyze, StageFault, StageEquiv}
 }
 
 // Diagnostic is one rule violation found by the verifier.
@@ -264,7 +265,10 @@ func (r *Report) FirstError() *Diagnostic {
 }
 
 // Sort orders diagnostics by pipeline stage, then severity, then rule
-// ID, then location — the stable presentation order of the CLI.
+// ID, then location, then message — a total order, so two reports with
+// the same diagnostics always render identically no matter what order
+// the producing passes emitted them in (golden-file and -json CI
+// comparisons depend on this).
 func (r *Report) Sort() {
 	sort.SliceStable(r.Diags, func(i, j int) bool {
 		a, b := r.Diags[i], r.Diags[j]
@@ -277,7 +281,10 @@ func (r *Report) Sort() {
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
 		}
-		return a.Loc < b.Loc
+		if a.Loc != b.Loc {
+			return a.Loc < b.Loc
+		}
+		return a.Msg < b.Msg
 	})
 }
 

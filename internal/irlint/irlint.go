@@ -19,6 +19,7 @@ import (
 
 	"c2nn/internal/aig"
 	"c2nn/internal/equiv"
+	"c2nn/internal/exec/analyze"
 	"c2nn/internal/exec/plan"
 	"c2nn/internal/fault"
 	"c2nn/internal/irlint/diag"
@@ -101,6 +102,24 @@ func Plan(m *nn.Model) (*diag.Report, error) {
 	}
 	r := &diag.Report{}
 	r.Add(p.Lint()...)
+	return r, nil
+}
+
+// Analyze lowers the model and runs the static plan analysis (rules
+// PA001–PA008): cone-of-influence clustering, the static cost model,
+// the arena aliasing/liveness proof and degenerate-row classification —
+// the stage after the structural plan lint.
+func Analyze(m *nn.Model) (*diag.Report, error) {
+	p, err := plan.Compile(m)
+	if err != nil {
+		return nil, fmt.Errorf("irlint: lowering to plan: %w", err)
+	}
+	res, err := analyze.Run(p, analyze.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("irlint: plan analysis: %w", err)
+	}
+	r := &diag.Report{}
+	r.Add(res.Diags...)
 	return r, nil
 }
 
@@ -238,6 +257,16 @@ func Check(nl *netlist.Netlist, opts Options) (*nn.Model, *diag.Report, error) {
 		return nil, report, err
 	}
 	report.Add(planReport.Diags...)
+	if report.HasErrors() {
+		report.Sort()
+		return nil, report, nil
+	}
+
+	analyzeReport, err := Analyze(model)
+	if err != nil {
+		return nil, report, err
+	}
+	report.Add(analyzeReport.Diags...)
 	if report.HasErrors() {
 		report.Sort()
 		return nil, report, nil

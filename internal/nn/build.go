@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"c2nn/internal/lutmap"
 	"c2nn/internal/netlist"
@@ -122,8 +123,16 @@ func (r *rowAccum) add(unit, c int32) {
 }
 
 func (r *rowAccum) emit(row int32, entries *[]tensor.Triple) {
-	for unit, c := range r.coef {
-		*entries = append(*entries, tensor.Triple{Row: row, Col: unit, Val: float32(c)})
+	// Ascending unit order: FromTriples preserves insertion order within
+	// a row, so emitting in map order would make the CSR layout — and
+	// every downstream plan and report — vary from run to run.
+	units := make([]int32, 0, len(r.coef))
+	for unit := range r.coef {
+		units = append(units, unit)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	for _, unit := range units {
+		*entries = append(*entries, tensor.Triple{Row: row, Col: unit, Val: float32(r.coef[unit])})
 	}
 }
 

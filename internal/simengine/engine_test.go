@@ -292,3 +292,69 @@ func TestGetOutputBits(t *testing.T) {
 		t.Fatal("unknown port accepted")
 	}
 }
+
+// TestKeepAllActivations checks the reuse-free engine mode: every
+// unit's activation survives the forward pass (PeekUnit stays valid for
+// interior units), the arena matches the flat layout, and outputs agree
+// with the default reuse-enabled engine step for step.
+func TestKeepAllActivations(t *testing.T) {
+	_, model, _ := buildModel(t, crcSrc, "crc8", 3)
+	keep, err := New(model, Options{Batch: 4, KeepAllActivations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keep.Close()
+	reuse, err := New(model, Options{Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reuse.Close()
+
+	if got, want := keep.Plan().ArenaUnits, model.Net.TotalUnits; got != want {
+		t.Fatalf("keep-all arena is %d units, flat layout is %d", got, want)
+	}
+	if reuse.Plan().ArenaUnits >= keep.Plan().ArenaUnits {
+		t.Fatalf("reuse arena %d not smaller than keep-all arena %d",
+			reuse.Plan().ArenaUnits, keep.Plan().ArenaUnits)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 20; step++ {
+		for _, port := range []string{"rst", "en", "din"} {
+			v := rng.Uint64()
+			if step == 0 && port == "rst" {
+				v = ^uint64(0)
+			}
+			vals := []uint64{v, v >> 1, v >> 2, v >> 3}
+			if err := keep.SetInput(port, vals); err != nil {
+				t.Fatal(err)
+			}
+			if err := reuse.SetInput(port, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		keep.Step()
+		reuse.Step()
+		k, err := keep.GetOutput("crc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := reuse.GetOutput("crc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lane := 0; lane < 4; lane++ {
+			if k[lane] != r[lane] {
+				t.Fatalf("step %d lane %d: keep-all crc %#x, reuse crc %#x",
+					step, lane, k[lane], r[lane])
+			}
+		}
+	}
+	// Interior units (neither ports nor feedback) remain peekable in
+	// keep-all mode: their slots were never recycled.
+	net := model.Net
+	if len(net.Layers) > 1 {
+		u := net.SegStart[0] // first interior layer unit
+		_ = keep.PeekUnit(u, 0)
+	}
+}

@@ -2,10 +2,30 @@ package synth
 
 import (
 	"fmt"
+	"sort"
 
 	"c2nn/internal/netlist"
 	"c2nn/internal/verilog"
 )
+
+// signalOrder returns the map's keys sorted by first net ID (net
+// allocation order, which follows declaration order and is stable).
+// Every loop that emits gates or flip-flops while walking a
+// map[*signal] view must iterate in this order, or net numbering —
+// and with it every downstream IR — changes from run to run.
+func signalOrder[V any](m map[*signal]V) []*signal {
+	sigs := make([]*signal, 0, len(m))
+	for s := range m {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].bits[0] != sigs[j].bits[0] {
+			return sigs[i].bits[0] < sigs[j].bits[0]
+		}
+		return sigs[i].name < sigs[j].name
+	})
+	return sigs
+}
 
 // procEnv is the symbolic environment of a procedural block: the
 // in-flight value of every signal assigned so far. Writes always install
@@ -91,7 +111,8 @@ func (sc *scope) driveAlways(a *verilog.AlwaysBlock) error {
 		for sig, v := range env.nb {
 			target[sig] = v
 		}
-		for sig, d := range target {
+		for _, sig := range signalOrder(target) {
+			d := target[sig]
 			if !sig.isReg {
 				return fmt.Errorf("%s: %q assigned in always block but not declared reg", a.Pos, sig.name)
 			}
@@ -113,7 +134,8 @@ func (sc *scope) driveAlways(a *verilog.AlwaysBlock) error {
 
 	// Combinational block: drive the fixed nets; detect latches
 	// (incomplete assignment resolving to the signal's own output).
-	for sig, v := range env.vals {
+	for _, sig := range signalOrder(env.vals) {
+		v := env.vals[sig]
 		if !sig.isReg {
 			return fmt.Errorf("%s: %q assigned in always block but not declared reg", a.Pos, sig.name)
 		}
@@ -432,7 +454,7 @@ func (sc *scope) mergeEnv(env *procEnv, cond netlist.NetID, thenEnv, elseEnv *pr
 		for sig := range get(elseEnv) {
 			touched[sig] = true
 		}
-		for sig := range touched {
+		for _, sig := range signalOrder(touched) {
 			tv, ok := get(thenEnv)[sig]
 			if !ok {
 				tv = fallback(sig)
@@ -622,7 +644,7 @@ func (sc *scope) mergeArms(env *procEnv, prios vec, arms []caseArm, noMatch netl
 				touched[sig] = true
 			}
 		}
-		for sig := range touched {
+		for _, sig := range signalOrder(touched) {
 			base := fallback(sig)
 			width := len(base)
 			out := make(vec, width)
