@@ -202,6 +202,28 @@ func analyzeTarget(name string, elab func() (*netlist.Netlist, error), lutSize i
 	}, nil
 }
 
+// mixString renders a kernel-mix tally compactly, largest first.
+func mixString(mix map[string]int) string {
+	if len(mix) == 0 {
+		return "-"
+	}
+	kinds := make([]string, 0, len(mix))
+	for k := range mix {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if mix[kinds[i]] != mix[kinds[j]] {
+			return mix[kinds[i]] > mix[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, mix[k])
+	}
+	return strings.Join(parts, " ")
+}
+
 // printAnalyzeText renders one report for the terminal: the summary
 // line, the hottest-layer cost table and optionally every cluster.
 func printAnalyzeText(rep *analyzeReport, topN int, showClusters bool) {
@@ -236,11 +258,12 @@ func printAnalyzeText(rep *analyzeReport, topN int, showClusters bool) {
 		if len(hot) > topN {
 			hot = hot[:topN]
 		}
-		fmt.Printf("  %-6s %-15s %8s %9s %9s %10s %9s\n",
-			"layer", "kernel", "rows", "nnz", "clusters", "word-ops", "ops/byte")
+		fmt.Printf("  %-6s %-15s %8s %9s %9s %10s %9s  %s\n",
+			"layer", "kernel", "rows", "nnz", "clusters", "word-ops", "ops/byte", "kernel-mix")
 		for _, lc := range hot {
-			fmt.Printf("  %-6d %-15s %8d %9d %9d %10d %9.3f\n",
-				lc.Layer, lc.Kernel, lc.Rows, lc.NNZ, lc.Clusters, lc.PackedWordOps, lc.Intensity)
+			fmt.Printf("  %-6d %-15s %8d %9d %9d %10d %9.3f  %s\n",
+				lc.Layer, lc.Kernel, lc.Rows, lc.NNZ, lc.Clusters, lc.PackedWordOps, lc.Intensity,
+				mixString(lc.KernelMix))
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"c2nn/internal/circuits"
+	"c2nn/internal/exec/plan"
 	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 )
@@ -24,6 +25,9 @@ type BackendRow struct {
 	BitPackedGCS float64 `json:"bitpacked_gcs"`
 	// PackedSpeedup is BitPackedGCS / Float32GCS.
 	PackedSpeedup float64 `json:"packed_speedup"`
+	// KernelMix tallies plan rows per specialized kernel kind — the
+	// census explaining where the packed throughput comes from.
+	KernelMix map[string]int `json:"kernel_mix,omitempty"`
 }
 
 // BackendsConfig tunes the backend comparison run.
@@ -81,6 +85,9 @@ func RunBackends(names []string, cfg BackendsConfig, progress io.Writer) ([]Back
 			stim := NewStimulusSet(res.Netlist, 64, cfg.Batch, cfg.Seed)
 			row := BackendRow{Circuit: c.Name, L: l,
 				Gates: res.Netlist.GateCount(), Batch: cfg.Batch}
+			if p, err := plan.Compile(res.Model); err == nil {
+				row.KernelMix = p.KernelMix()
+			}
 			for _, p := range []simengine.Precision{simengine.Float32, simengine.Int32, simengine.BitPacked} {
 				gcs, err := NNThroughputTraced(res, stim, cfg.Batch, cfg.Workers, p, cfg.MinMeasure, cfg.Trace)
 				if err != nil {

@@ -1,8 +1,6 @@
 package analyze
 
 import (
-	"math/bits"
-
 	"c2nn/internal/exec/plan"
 )
 
@@ -12,11 +10,14 @@ import (
 //   - float32 / int32: one multiply-add per stored nonzero per lane
 //     (threshold rows add one compare per row per lane);
 //
-//   - bit-packed: per 64-lane word, each nonzero costs one bit-plane
-//     addition per set bit of |weight| (tensor.addWeighted), the folded
-//     threshold costs one plane addition per set bit, and the compare
-//     is one borrow pass over the accumulator height. Word traffic is
-//     one activation-word read per nonzero plus one output write.
+//   - bit-packed: per 64-lane word, a row dispatched through the
+//     generic bit-sliced kernel costs one bit-plane addition per set
+//     bit of |weight| (tensor.addWeighted) plus the folded threshold's
+//     set bits, and one borrow pass per accumulator-height bit for the
+//     compare. Rows lowered to specialized kernels (the row-group IR)
+//     are priced by their fused form instead: constants and copies are
+//     one word op, boolean reductions one op per input word, LUT rows
+//     the Shannon evaluation of their table plus the input gathers.
 //
 // The per-word op count is exact in the worst case (every input word
 // nonzero; the kernel's zero-word skip makes the real count
@@ -32,16 +33,22 @@ type LayerCost struct {
 	NNZ    int    `json:"nnz"`
 	// Clusters is the number of cone clusters partitioning the rows.
 	Clusters int `json:"clusters"`
+	// KernelMix tallies the layer's rows per specialized kernel kind.
+	KernelMix map[string]int `json:"kernel_mix,omitempty"`
 	// FloatMACs is multiply-adds per lane on the float32/int32 path.
 	FloatMACs int64 `json:"float_macs"`
-	// PlaneAdds is bit-plane additions per packed word (weights plus
-	// folded thresholds).
+	// PlaneAdds is bit-plane additions per packed word on the rows that
+	// stay on the generic bit-sliced path (weights plus folded
+	// thresholds).
 	PlaneAdds int64 `json:"plane_adds"`
 	// ComparePasses is the summed borrow-pass height of the threshold
-	// compares per packed word.
+	// compares per packed word (generic rows only).
 	ComparePasses int64 `json:"compare_passes"`
-	// PackedWordOps = PlaneAdds + ComparePasses: word ops per packed
-	// word column.
+	// FusedOps is word ops per packed word on the rows lowered to
+	// specialized kernels (constants, copies, boolean reductions, LUTs).
+	FusedOps int64 `json:"fused_ops,omitempty"`
+	// PackedWordOps = PlaneAdds + ComparePasses + FusedOps: word ops per
+	// packed word column.
 	PackedWordOps int64 `json:"packed_word_ops"`
 	// PackedBytes is bytes moved per packed word column: 8 bytes per
 	// nonzero activation read + 8 per row write + the CSR structure
@@ -61,6 +68,7 @@ type CostTotals struct {
 	FloatMACs     int64   `json:"float_macs"`
 	PlaneAdds     int64   `json:"plane_adds"`
 	ComparePasses int64   `json:"compare_passes"`
+	FusedOps      int64   `json:"fused_ops,omitempty"`
 	PackedWordOps int64   `json:"packed_word_ops"`
 	PackedBytes   int64   `json:"packed_bytes"`
 	Intensity     float64 `json:"intensity"`
@@ -72,6 +80,29 @@ type CostTotals struct {
 type CostReport struct {
 	Layers []LayerCost `json:"layers"`
 	Total  CostTotals  `json:"total"`
+}
+
+// rowPackedCost prices one row under its selected kernel — the single
+// per-row pricing shared by Cost and ClusterCosts so cluster costs
+// partition layer costs exactly.
+func rowPackedCost(l *plan.Layer, r int, kind plan.KernelKind, tab uint64) (planeAdds, comparePasses, fusedOps int64) {
+	k := int64(l.WInt.RowPtr[r+1] - l.WInt.RowPtr[r])
+	switch kind {
+	case plan.KConst0, plan.KConst1:
+		return 0, 0, 1
+	case plan.KCopy, plan.KNot:
+		return 0, 0, 1
+	case plan.KAnd, plan.KOr:
+		return 0, 0, k
+	case plan.KNand, plan.KNor:
+		return 0, 0, k + 1
+	case plan.KXor2:
+		return 0, 0, 2
+	case plan.KTable:
+		return 0, 0, plan.TableOps(tab, int(k)) + k
+	}
+	planeAdds, comparePasses = plan.RowPlaneCost(l, r)
+	return planeAdds, comparePasses, 0
 }
 
 // Cost prices every layer of the plan. When the plan carries cluster
@@ -94,36 +125,19 @@ func Cost(p *plan.Plan) *CostReport {
 			}
 			lc.Clusters = len(seenC)
 		}
+		kinds, tables := l.RowKinds()
 		for r := 0; r < l.WInt.Rows; r++ {
-			var rowPos, rowNeg int64
-			for q := l.WInt.RowPtr[r]; q < l.WInt.RowPtr[r+1]; q++ {
-				v := l.WInt.Val[q]
-				lc.FloatMACs++
-				if v >= 0 {
-					lc.PlaneAdds += int64(bits.OnesCount32(uint32(v)))
-					rowPos += int64(v)
-				} else {
-					lc.PlaneAdds += int64(bits.OnesCount32(uint32(-v)))
-					rowNeg -= int64(v)
-				}
+			lc.FloatMACs += int64(l.WInt.RowPtr[r+1] - l.WInt.RowPtr[r])
+			pa, cp, fo := rowPackedCost(l, r, kinds[r], tables[r])
+			lc.PlaneAdds += pa
+			lc.ComparePasses += cp
+			lc.FusedOps += fo
+			if lc.KernelMix == nil {
+				lc.KernelMix = map[string]int{}
 			}
-			if l.Kernel != plan.KernelLinear {
-				th := int64(l.Thresh[r])
-				if th >= 0 {
-					lc.PlaneAdds += int64(bits.OnesCount64(uint64(th)))
-					rowNeg += th
-				} else {
-					lc.PlaneAdds += int64(bits.OnesCount64(uint64(-th)))
-					rowPos -= th
-				}
-				h := bits.Len64(uint64(rowPos))
-				if n := bits.Len64(uint64(rowNeg)); n > h {
-					h = n
-				}
-				lc.ComparePasses += int64(h)
-			}
+			lc.KernelMix[kinds[r].String()]++
 		}
-		lc.PackedWordOps = lc.PlaneAdds + lc.ComparePasses
+		lc.PackedWordOps = lc.PlaneAdds + lc.ComparePasses + lc.FusedOps
 		lc.PackedBytes = 8*int64(lc.NNZ) + 8*int64(lc.Rows) + 8*int64(lc.NNZ)
 		if lc.PackedBytes > 0 {
 			lc.Intensity = float64(lc.PackedWordOps) / float64(lc.PackedBytes)
@@ -135,6 +149,7 @@ func Cost(p *plan.Plan) *CostReport {
 		rep.Total.FloatMACs += lc.FloatMACs
 		rep.Total.PlaneAdds += lc.PlaneAdds
 		rep.Total.ComparePasses += lc.ComparePasses
+		rep.Total.FusedOps += lc.FusedOps
 		rep.Total.PackedWordOps += lc.PackedWordOps
 		rep.Total.PackedBytes += lc.PackedBytes
 	}
@@ -157,11 +172,13 @@ type ClusterCost struct {
 
 // ClusterCosts prices every cluster of the plan's attached metadata
 // (nil when no metadata is attached). The sum over a layer's clusters
-// equals the layer's cost.
+// equals the layer's cost: both paths price rows with rowPackedCost.
 func ClusterCosts(p *plan.Plan) []ClusterCost {
 	if p.Clusters == nil {
 		return nil
 	}
+	kindCache := make(map[int32][]plan.KernelKind)
+	tableCache := make(map[int32][]uint64)
 	out := make([]ClusterCost, len(p.Clusters.Clusters))
 	for ci := range p.Clusters.Clusters {
 		c := &p.Clusters.Clusters[ci]
@@ -171,38 +188,20 @@ func ClusterCosts(p *plan.Plan) []ClusterCost {
 			continue
 		}
 		l := &p.Layers[c.Layer]
+		kinds, ok := kindCache[c.Layer]
+		if !ok {
+			kinds, tableCache[c.Layer] = l.RowKinds()
+			kindCache[c.Layer] = kinds
+		}
+		tables := tableCache[c.Layer]
 		for _, r := range c.Rows {
 			if int(r) >= l.WInt.Rows {
 				continue
 			}
 			cc.Rows++
-			var rowPos, rowNeg int64
-			for q := l.WInt.RowPtr[r]; q < l.WInt.RowPtr[r+1]; q++ {
-				v := l.WInt.Val[q]
-				cc.NNZ++
-				if v >= 0 {
-					cc.PackedWordOps += int64(bits.OnesCount32(uint32(v)))
-					rowPos += int64(v)
-				} else {
-					cc.PackedWordOps += int64(bits.OnesCount32(uint32(-v)))
-					rowNeg -= int64(v)
-				}
-			}
-			if l.Kernel != plan.KernelLinear {
-				th := int64(l.Thresh[r])
-				if th >= 0 {
-					cc.PackedWordOps += int64(bits.OnesCount64(uint64(th)))
-					rowNeg += th
-				} else {
-					cc.PackedWordOps += int64(bits.OnesCount64(uint64(-th)))
-					rowPos -= th
-				}
-				h := bits.Len64(uint64(rowPos))
-				if n := bits.Len64(uint64(rowNeg)); n > h {
-					h = n
-				}
-				cc.PackedWordOps += int64(h)
-			}
+			cc.NNZ += int(l.WInt.RowPtr[r+1] - l.WInt.RowPtr[r])
+			pa, cp, fo := rowPackedCost(l, int(r), kinds[r], tables[r])
+			cc.PackedWordOps += pa + cp + fo
 		}
 		out[ci] = cc
 	}

@@ -109,6 +109,10 @@ type instr struct {
 	tr    *obs.Trace
 	names []string
 	disp  [3]*obs.Counter
+	// kinds counts rows dispatched through each specialized kernel of
+	// the row-group IR (exec.kernel.<kind>), complementing the
+	// per-layer exec.dispatch.* counters above.
+	kinds [plan.NumKernelKinds]*obs.Counter
 }
 
 func newInstr(tr *obs.Trace, p *plan.Plan) instr {
@@ -122,6 +126,9 @@ func newInstr(tr *obs.Trace, p *plan.Plan) instr {
 	in.disp[plan.KernelLinear] = tr.Counter("exec.dispatch.linear")
 	in.disp[plan.KernelThreshold] = tr.Counter("exec.dispatch.threshold")
 	in.disp[plan.KernelUnitThreshold] = tr.Counter("exec.dispatch.unit_threshold")
+	for k := range in.kinds {
+		in.kinds[k] = tr.Counter("exec.kernel." + plan.KernelKind(k).String())
+	}
 	return in
 }
 
@@ -133,4 +140,13 @@ func (in *instr) beginLayer(li int, k plan.Kernel) obs.Span {
 	}
 	in.disp[k].Inc()
 	return in.tr.Begin(in.names[li])
+}
+
+// countGroup tallies the rows of one dispatched row group on its
+// kernel-kind counter.
+func (in *instr) countGroup(g *plan.RowGroup) {
+	if in.tr == nil {
+		return
+	}
+	in.kinds[g.Kind].Add(int64(len(g.Rows)))
 }

@@ -77,13 +77,52 @@ func (e *bpBackend) RunLayer(li int) {
 	l := &e.plan.Layers[li]
 	w := l.WInt
 	out := e.acts[int(l.OutSlot)*words:]
-	if l.Kernel == plan.KernelLinear {
-		e.pool.Run(w.Rows, func(lo, hi int) {
-			w.PackedLinearRange(e.acts, words, out, lo, hi)
-		})
-	} else {
-		e.pool.Run(w.Rows, func(lo, hi int) {
-			w.PackedThreshRange(e.acts, words, l.Thresh, out, lo, hi)
+	if len(l.Groups) == 0 {
+		// Hand-built plans carry no kernel IR; run the whole layer
+		// through the generic range kernels.
+		if l.Kernel == plan.KernelLinear {
+			e.pool.Run(w.Rows, func(lo, hi int) {
+				w.PackedLinearRange(e.acts, words, out, lo, hi)
+			})
+		} else {
+			e.pool.Run(w.Rows, func(lo, hi int) {
+				w.PackedThreshRange(e.acts, words, l.Thresh, out, lo, hi)
+			})
+		}
+		sp.End()
+		return
+	}
+	for gi := range l.Groups {
+		g := &l.Groups[gi]
+		e.in.countGroup(g)
+		e.pool.Run(len(g.Rows), func(lo, hi int) {
+			rows := g.Rows[lo:hi]
+			switch g.Kind {
+			case plan.KConst0:
+				tensor.PackedConstRows(out, words, rows, false)
+			case plan.KConst1:
+				tensor.PackedConstRows(out, words, rows, true)
+			case plan.KCopy:
+				w.PackedCopyRows(e.acts, words, out, rows, false)
+			case plan.KNot:
+				w.PackedCopyRows(e.acts, words, out, rows, true)
+			case plan.KAnd:
+				w.PackedAndRows(e.acts, words, out, rows, false)
+			case plan.KNand:
+				w.PackedAndRows(e.acts, words, out, rows, true)
+			case plan.KOr:
+				w.PackedOrRows(e.acts, words, out, rows, false)
+			case plan.KNor:
+				w.PackedOrRows(e.acts, words, out, rows, true)
+			case plan.KXor2:
+				w.PackedXorRows(e.acts, words, out, rows)
+			case plan.KTable:
+				w.PackedTableRows(e.acts, words, out, rows, g.Tables[lo:hi])
+			case plan.KLinear:
+				w.PackedLinearRows(e.acts, words, out, rows)
+			default:
+				w.PackedThreshRows(e.acts, words, l.Thresh, out, rows)
+			}
 		})
 	}
 	sp.End()

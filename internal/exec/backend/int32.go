@@ -32,41 +32,140 @@ func (e *i32Backend) Forward() {
 
 func (e *i32Backend) RunLayer(li int) {
 	sp := e.in.beginLayer(li, e.plan.Layers[li].Kernel)
-	b := e.batch
 	l := &e.plan.Layers[li]
 	w := l.WInt
-	out := e.acts[int(l.OutSlot)*b:]
-	e.pool.Run(w.Rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			o := out[r*b : r*b+b]
+	if len(l.Groups) == 0 {
+		e.pool.Run(w.Rows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				e.genericRow(l, r)
+			}
+		})
+		sp.End()
+		return
+	}
+	for gi := range l.Groups {
+		g := &l.Groups[gi]
+		e.in.countGroup(g)
+		e.pool.Run(len(g.Rows), func(lo, hi int) {
+			e.groupRows(l, g, lo, hi)
+		})
+	}
+	sp.End()
+}
+
+// genericRow is the reference row kernel: exact integer accumulate,
+// then fire against the fused integer threshold (threshold layers).
+func (e *i32Backend) genericRow(l *plan.Layer, r int) {
+	b := e.batch
+	w := l.WInt
+	o := e.acts[(int(l.OutSlot)+r)*b : (int(l.OutSlot)+r+1)*b]
+	for i := range o {
+		o[i] = 0
+	}
+	for p := w.RowPtr[r]; p < w.RowPtr[r+1]; p++ {
+		x := e.acts[int(w.Col[p])*b : int(w.Col[p])*b+b]
+		if v := w.Val[p]; v == 1 {
+			for i, xv := range x {
+				o[i] += xv
+			}
+		} else {
+			for i, xv := range x {
+				o[i] += v * xv
+			}
+		}
+	}
+	if l.Kernel != plan.KernelLinear {
+		th := l.Thresh[r]
+		for i := range o {
+			if o[i] > th {
+				o[i] = 1
+			} else {
+				o[i] = 0
+			}
+		}
+	}
+}
+
+// groupRows runs one row group's specialized kernel in int32. Each
+// specialized form is equal to genericRow under the binary-activation
+// invariant, which the differential tests enforce across substrates.
+func (e *i32Backend) groupRows(l *plan.Layer, g *plan.RowGroup, lo, hi int) {
+	b := e.batch
+	w := l.WInt
+	for ri := lo; ri < hi; ri++ {
+		r := int(g.Rows[ri])
+		o := e.acts[(int(l.OutSlot)+r)*b : (int(l.OutSlot)+r+1)*b]
+		p0, p1 := w.RowPtr[r], w.RowPtr[r+1]
+		switch g.Kind {
+		case plan.KConst0:
 			for i := range o {
 				o[i] = 0
 			}
-			for p := w.RowPtr[r]; p < w.RowPtr[r+1]; p++ {
+		case plan.KConst1:
+			for i := range o {
+				o[i] = 1
+			}
+		case plan.KCopy:
+			copy(o, e.acts[int(w.Col[p0])*b:int(w.Col[p0])*b+b])
+		case plan.KNot:
+			x := e.acts[int(w.Col[p0])*b : int(w.Col[p0])*b+b]
+			for i, xv := range x {
+				o[i] = 1 - xv
+			}
+		case plan.KAnd, plan.KNand:
+			copy(o, e.acts[int(w.Col[p0])*b:int(w.Col[p0])*b+b])
+			for p := p0 + 1; p < p1; p++ {
 				x := e.acts[int(w.Col[p])*b : int(w.Col[p])*b+b]
-				if v := w.Val[p]; v == 1 {
-					for i, xv := range x {
-						o[i] += xv
-					}
-				} else {
-					for i, xv := range x {
-						o[i] += v * xv
-					}
+				for i, xv := range x {
+					o[i] &= xv
 				}
 			}
-			if l.Kernel != plan.KernelLinear {
-				th := l.Thresh[r]
+			if g.Kind == plan.KNand {
 				for i := range o {
-					if o[i] > th {
-						o[i] = 1
-					} else {
-						o[i] = 0
-					}
+					o[i] = 1 - o[i]
 				}
 			}
+		case plan.KOr, plan.KNor:
+			copy(o, e.acts[int(w.Col[p0])*b:int(w.Col[p0])*b+b])
+			for p := p0 + 1; p < p1; p++ {
+				x := e.acts[int(w.Col[p])*b : int(w.Col[p])*b+b]
+				for i, xv := range x {
+					o[i] |= xv
+				}
+			}
+			if g.Kind == plan.KNor {
+				for i := range o {
+					o[i] = 1 - o[i]
+				}
+			}
+		case plan.KXor2:
+			for i := range o {
+				o[i] = 0
+			}
+			for p := p0; p < p1; p++ {
+				if w.Val[p] != 1 {
+					continue
+				}
+				x := e.acts[int(w.Col[p])*b : int(w.Col[p])*b+b]
+				for i, xv := range x {
+					o[i] ^= xv
+				}
+			}
+		case plan.KTable:
+			tab := g.Tables[ri]
+			for i := range o {
+				idx := 0
+				for j, p := 0, p0; p < p1; j, p = j+1, p+1 {
+					if e.acts[int(w.Col[p])*b+i] != 0 {
+						idx |= 1 << uint(j)
+					}
+				}
+				o[i] = int32(tab >> uint(idx) & 1)
+			}
+		default:
+			e.genericRow(l, r)
 		}
-	})
-	sp.End()
+	}
 }
 
 func (e *i32Backend) Set(slot int32, lane int, v bool) {

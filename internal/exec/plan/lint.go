@@ -40,6 +40,19 @@ var (
 	RuleEXMirror = diag.Register(diag.Rule{
 		ID: "EX005", Stage: diag.StagePlan, Severity: diag.Error,
 		Summary: "integer weight mirror disagrees with float weights"})
+	// RuleEXGroups fires when a layer's row groups do not partition its
+	// rows exactly once in ascending order, reference rows out of range,
+	// or carry a Tables slice out of step with Rows.
+	RuleEXGroups = diag.Register(diag.Rule{
+		ID: "EX006", Stage: diag.StagePlan, Severity: diag.Error,
+		Summary: "kernel row groups do not partition the layer"})
+	// RuleEXKernelSem fires when a specialized kernel disagrees with the
+	// row it lowers: the group kind differs from re-deriving the row's
+	// kind, or a LUT kernel's table differs from re-enumerating the
+	// row's truth table.
+	RuleEXKernelSem = diag.Register(diag.Rule{
+		ID: "EX007", Stage: diag.StagePlan, Severity: diag.Error,
+		Summary: "specialized kernel disagrees with its source row"})
 )
 
 // Lint checks every structural invariant of the plan against its
@@ -132,6 +145,8 @@ func (p *Plan) Lint() []diag.Diagnostic {
 			}
 		}
 
+		ds = append(ds, lintGroups(loc(li), pl)...)
+
 		// Integer mirror agreement (structure is shared with W by
 		// construction, but a hand-built or corrupted plan may not).
 		if pl.WInt.Rows != pl.W.Rows || len(pl.WInt.Val) != len(pl.W.Val) {
@@ -151,6 +166,80 @@ func (p *Plan) Lint() []diag.Diagnostic {
 	}
 
 	ds = append(ds, p.lintOverlap()...)
+	return ds
+}
+
+// lintGroups verifies the layer's kernel IR: the row groups must cover
+// every row exactly once in ascending order with in-range rows and a
+// Tables slice in step with Rows (EX006), and each group's kernel must
+// agree with re-deriving the row's kind and truth table from the
+// weights and fused threshold (EX007) — the static proof that the
+// specialized dispatch computes the same function as the generic path.
+func lintGroups(loc string, pl *Layer) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	rows := pl.W.Rows
+	if len(pl.Groups) == 0 {
+		if rows > 0 {
+			ds = append(ds, RuleEXGroups.New(loc,
+				"layer with %d rows carries no kernel row groups", rows))
+		}
+		return ds
+	}
+	covered := make([]bool, rows)
+	sound := true
+	for gi := range pl.Groups {
+		g := &pl.Groups[gi]
+		if g.Kind == KTable && len(g.Tables) != len(g.Rows) {
+			ds = append(ds, RuleEXGroups.New(loc,
+				"group %d (%s) carries %d tables for %d rows", gi, g.Kind, len(g.Tables), len(g.Rows)))
+			sound = false
+		}
+		prev := int32(-1)
+		for _, r := range g.Rows {
+			if r < 0 || int(r) >= rows {
+				ds = append(ds, RuleEXGroups.New(loc,
+					"group %d (%s) references row %d outside layer of %d rows", gi, g.Kind, r, rows))
+				sound = false
+				continue
+			}
+			if r <= prev {
+				ds = append(ds, RuleEXGroups.New(loc,
+					"group %d (%s) rows not strictly ascending at row %d", gi, g.Kind, r))
+				sound = false
+			}
+			prev = r
+			if covered[r] {
+				ds = append(ds, RuleEXGroups.New(loc,
+					"row %d covered by more than one group", r))
+				sound = false
+			}
+			covered[r] = true
+		}
+	}
+	for r, c := range covered {
+		if !c {
+			ds = append(ds, RuleEXGroups.New(loc, "row %d covered by no group", r))
+			sound = false
+		}
+	}
+	if !sound {
+		return ds // kind re-derivation needs a well-formed partition
+	}
+	for gi := range pl.Groups {
+		g := &pl.Groups[gi]
+		for ri, r := range g.Rows {
+			kind, tab := KindOfRow(pl, int(r))
+			if kind != g.Kind {
+				ds = append(ds, RuleEXKernelSem.New(loc,
+					"row %d grouped as %s, re-derivation says %s", r, g.Kind, kind))
+				continue
+			}
+			if g.Kind == KTable && g.Tables[ri] != tab {
+				ds = append(ds, RuleEXKernelSem.New(loc,
+					"row %d LUT table %#x, re-enumerated truth table %#x", r, g.Tables[ri], tab))
+			}
+		}
+	}
 	return ds
 }
 

@@ -85,6 +85,10 @@ type Layer struct {
 	// accumulators of any row (weights plus folded threshold); the
 	// bit-packed backend sizes its plane stacks from them.
 	MaxPos, MaxNeg int64
+	// Groups partitions the layer's rows by specialized kernel kind
+	// (kernel.go), ordered by kind with ascending rows. Every row
+	// appears in exactly one group; backends dispatch per group.
+	Groups []RowGroup
 }
 
 // Plan is a lowered, executable form of a model's network.
@@ -229,6 +233,7 @@ func CompileOpts(m *nn.Model, opts Options) (*Plan, error) {
 
 	p := &Plan{Model: m, ArenaUnits: int(a.top), Slot: slot}
 	var kernels [3]int64
+	var kinds [NumKernelKinds]int64
 	for li := range net.Layers {
 		l := &net.Layers[li]
 		pl, err := lowerLayer(l, li, slot, int(a.top), outSlot[li])
@@ -236,6 +241,9 @@ func CompileOpts(m *nn.Model, opts Options) (*Plan, error) {
 			return nil, err
 		}
 		kernels[pl.Kernel]++
+		for gi := range pl.Groups {
+			kinds[pl.Groups[gi].Kind] += int64(len(pl.Groups[gi].Rows))
+		}
 		p.Layers = append(p.Layers, pl)
 	}
 	if tr := opts.Trace; tr != nil {
@@ -249,6 +257,11 @@ func CompileOpts(m *nn.Model, opts Options) (*Plan, error) {
 			SetInt("kernels_linear", kernels[KernelLinear]).
 			SetInt("kernels_threshold", kernels[KernelThreshold]).
 			SetInt("kernels_unit_threshold", kernels[KernelUnitThreshold])
+		for k, n := range kinds {
+			if n > 0 {
+				sp.SetInt("rows_"+KernelKind(k).String(), n)
+			}
+		}
 	}
 	return p, nil
 }
@@ -324,6 +337,7 @@ func lowerLayer(l *nn.Layer, li int, slot []int32, arenaUnits int, out int32) (L
 	if pl.MaxPos >= 1<<tensor.MaxPlanes || pl.MaxNeg >= 1<<tensor.MaxPlanes {
 		return Layer{}, fmt.Errorf("plan: layer %d row sums exceed 2^%d accumulator capacity", li, tensor.MaxPlanes)
 	}
+	buildGroups(&pl)
 	return pl, nil
 }
 

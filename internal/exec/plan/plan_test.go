@@ -212,6 +212,66 @@ func TestLintCatchesCorruption(t *testing.T) {
 			p.Layers[li].Thresh[0]++
 			return true
 		}},
+		{"groups-dropped", "EX006", func(p *Plan) bool {
+			l := &p.Layers[0]
+			if l.W.Rows == 0 {
+				return false
+			}
+			l.Groups = nil
+			return true
+		}},
+		{"group-missing-row", "EX006", func(p *Plan) bool {
+			for li := range p.Layers {
+				for gi := range p.Layers[li].Groups {
+					g := &p.Layers[li].Groups[gi]
+					if len(g.Rows) > 0 && g.Kind != KTable {
+						g.Rows = g.Rows[:len(g.Rows)-1]
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{"group-duplicate-row", "EX006", func(p *Plan) bool {
+			for li := range p.Layers {
+				for gi := range p.Layers[li].Groups {
+					g := &p.Layers[li].Groups[gi]
+					if len(g.Rows) > 0 && g.Kind != KTable {
+						g.Rows = append(g.Rows, g.Rows[len(g.Rows)-1])
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{"group-kind-drift", "EX007", func(p *Plan) bool {
+			for li := range p.Layers {
+				for gi := range p.Layers[li].Groups {
+					g := &p.Layers[li].Groups[gi]
+					if len(g.Rows) == 0 {
+						continue
+					}
+					g.Kind = (g.Kind + 1) % KernelKind(NumKernelKinds)
+					if g.Kind == KTable && len(g.Tables) != len(g.Rows) {
+						g.Tables = make([]uint64, len(g.Rows))
+					}
+					return true
+				}
+			}
+			return false
+		}},
+		{"table-drift", "EX007", func(p *Plan) bool {
+			for li := range p.Layers {
+				for gi := range p.Layers[li].Groups {
+					g := &p.Layers[li].Groups[gi]
+					if g.Kind == KTable && len(g.Tables) > 0 {
+						g.Tables[0] ^= 1
+						return true
+					}
+				}
+			}
+			return false
+		}},
 		{"mirror-drift", "EX005", func(p *Plan) bool {
 			l := &p.Layers[0]
 			if len(l.WInt.Val) == 0 {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# check_bench_regression.sh NEW.json BASELINE.json
+#
+# Diffs a fresh BENCH_exec.json against the committed baseline and fails
+# when bitpacked throughput regresses more than 20% on any circuit row.
+#
+# Absolute g·c/s numbers vary with runner hardware, so each row's
+# bitpacked throughput is normalized by the same run's float32
+# throughput before comparison: the float32 path is a plain SpMM whose
+# relative speed tracks the machine, making packed_speedup a
+# machine-portable proxy for the packed path's health. Rows present in
+# only one file are reported but not fatal (circuit sets may grow).
+set -euo pipefail
+
+new=${1:?usage: check_bench_regression.sh NEW.json BASELINE.json}
+base=${2:?usage: check_bench_regression.sh NEW.json BASELINE.json}
+
+fail=0
+while IFS=$'\t' read -r circuit l newsp basesp; do
+  if [ "$basesp" = "missing" ]; then
+    echo "NOTE  $circuit L=$l: no baseline row (new circuit?)"
+    continue
+  fi
+  ok=$(awk -v n="$newsp" -v b="$basesp" 'BEGIN { print (n >= 0.8 * b) ? 1 : 0 }')
+  pct=$(awk -v n="$newsp" -v b="$basesp" 'BEGIN { printf "%+.1f", 100 * (n - b) / b }')
+  if [ "$ok" = "1" ]; then
+    echo "OK    $circuit L=$l: packed_speedup $newsp vs baseline $basesp (${pct}%)"
+  else
+    echo "FAIL  $circuit L=$l: packed_speedup $newsp vs baseline $basesp (${pct}%, limit -20%)"
+    fail=1
+  fi
+done < <(jq -r -n --slurpfile newf "$new" --slurpfile basef "$base" '
+  ($basef[0].rows | map({key: "\(.circuit)/\(.l)", value: .packed_speedup}) | from_entries) as $b
+  | $newf[0].rows[]
+  | "\(.circuit)\t\(.l)\t\(.packed_speedup)\t\($b["\(.circuit)/\(.l)"] // "missing")"')
+
+exit $fail
