@@ -42,6 +42,8 @@ func main() {
 		equivOut  = flag.String("equiv-out", "", "write the -equiv rows as JSON to this file")
 		analyzeF  = flag.Bool("analyze", false, "run the static plan analyzer and correlate its cost model against measured layer times")
 		analyzeO  = flag.String("analyze-out", "", "write the -analyze rows as JSON to this file")
+		activityF = flag.Bool("activity", false, "measure activity-driven execution (skip rate, speedup, bit-equality) on testbench and dense workloads")
+		activityO = flag.String("activity-out", "", "write the -activity rows as JSON to this file")
 		all       = flag.Bool("all", false, "run everything")
 		circuitsF = flag.String("circuits", "", "comma-separated circuit names for -table1 (default all)")
 		lsF       = flag.String("L", "3,7,11", "comma-separated LUT sizes for -table1")
@@ -265,6 +267,36 @@ func main() {
 		}
 		fmt.Println("\n=== Static plan analysis (clusters, cost model, aliasing proof) ===")
 		fmt.Print(bench.FormatAnalyze(rows))
+	}
+
+	if *activityF || *all {
+		ran = true
+		cfg := bench.DefaultActivityConfig()
+		cfg.Batch = *batch
+		cfg.MinMeasure = time.Duration(*minMs) * time.Millisecond
+		var names []string
+		if *circuitsF != "" {
+			for _, s := range strings.Split(*circuitsF, ",") {
+				names = append(names, strings.TrimSpace(s))
+			}
+		}
+		rows, err := bench.RunActivity(names, cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if *activityO != "" {
+			f, err := os.Create(*activityO)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteActivityJSON(f, rows); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Println("\n=== Activity-driven execution (skip rate, speedup) ===")
+		fmt.Print(bench.FormatActivity(rows))
 	}
 
 	if *influence || *all {

@@ -13,6 +13,7 @@ import (
 
 	"c2nn"
 	"c2nn/internal/circuits"
+	"c2nn/internal/exec/analyze"
 	"c2nn/internal/obs"
 	"c2nn/internal/simengine"
 	"c2nn/internal/testbench"
@@ -27,17 +28,18 @@ import (
 func runProfile(args []string) error {
 	fs := flag.NewFlagSet("c2nn profile", flag.ExitOnError)
 	var (
-		circuit  = fs.String("circuit", "", "profile a built-in benchmark circuit (case-insensitive)")
-		tbPath   = fs.String("tb", "", "testbench script to replay (the circuit is inferred from the file name unless -circuit is given)")
-		lutSize  = fs.Int("L", 7, "LUT size (max inputs per Boolean function)")
-		backendF = fs.String("backend", "bitpacked", "execution substrate: float32, int32 or bitpacked")
-		cycles   = fs.Int("cycles", 256, "random-stimulus clock cycles to drive (after the -tb script, if any)")
-		batch    = fs.Int("batch", 256, "engine batch size (stimulus lanes)")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
-		seed     = fs.Int64("seed", 1, "random-stimulus seed")
-		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
-		metrOut  = fs.String("metrics", "", "write the metrics dump as JSON")
-		topN     = fs.Int("top", 10, "hot-layer table size (0 hides it)")
+		circuit   = fs.String("circuit", "", "profile a built-in benchmark circuit (case-insensitive)")
+		tbPath    = fs.String("tb", "", "testbench script to replay (the circuit is inferred from the file name unless -circuit is given)")
+		lutSize   = fs.Int("L", 7, "LUT size (max inputs per Boolean function)")
+		backendF  = fs.String("backend", "bitpacked", "execution substrate: float32, int32 or bitpacked")
+		cycles    = fs.Int("cycles", 256, "random-stimulus clock cycles to drive (after the -tb script, if any)")
+		batch     = fs.Int("batch", 256, "engine batch size (stimulus lanes)")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
+		seed      = fs.Int64("seed", 1, "random-stimulus seed")
+		traceOut  = fs.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+		metrOut   = fs.String("metrics", "", "write the metrics dump as JSON")
+		topN      = fs.Int("top", 10, "hot-layer table size (0 hides it)")
+		activityF = fs.Bool("activity", false, "enable activity-driven execution and report skip rate and per-root toggle rates")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: c2nn profile [-circuit name | -tb script.tb] [-backend b] [-cycles n] [-batch n] [-trace out.json] [-metrics out.json]")
@@ -86,6 +88,7 @@ func runProfile(args []string) error {
 		Batch:     *batch,
 		Workers:   *workers,
 		Precision: prec,
+		Activity:  *activityF,
 		Trace:     tr,
 	})
 	if err != nil {
@@ -93,13 +96,31 @@ func runProfile(args []string) error {
 	}
 	defer eng.Close()
 
+	// With -activity the engine skips clean clusters; the probe samples
+	// the same root diff after every step to attribute the dirtiness to
+	// individual roots (the toggle table below).
+	var probe *analyze.Probe
+	if *activityF {
+		probe, err = analyze.NewProbe(eng)
+		if err != nil {
+			return err
+		}
+	}
+	sample := func() {
+		if probe != nil {
+			probe.Sample()
+		}
+	}
+
 	rsp := tr.Begin("run").
 		SetStr("circuit", c.Name).
 		SetStr("backend", prec.String()).
 		SetInt("batch", int64(*batch))
 	driven := 0
 	if script != nil {
-		res, err := script.Run(eng)
+		res, err := script.RunOpts(eng, testbench.RunOptions{
+			Trace: func(int) error { sample(); return nil },
+		})
 		if err != nil {
 			return fmt.Errorf("profile: replaying %s: %w", *tbPath, err)
 		}
@@ -136,6 +157,7 @@ func runProfile(args []string) error {
 			}
 		}
 		eng.Step()
+		sample()
 		driven++
 	}
 	elapsed := time.Since(start)
@@ -153,6 +175,9 @@ func runProfile(args []string) error {
 	}
 
 	printProfile(tr, *topN)
+	if probe != nil {
+		printActivity(eng, probe, *topN)
+	}
 	gcs := simengine.Throughput(model.GateCount, *cycles, *batch, elapsed)
 	fmt.Printf("\n%s (L=%d, %s): %d cycles x %d lanes in %s = %.3g gates·cycles/s\n",
 		c.Name, *lutSize, prec, driven, *batch,
@@ -184,6 +209,29 @@ func writeFileWith(path string, fn func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// printActivity renders the skip-rate line and the per-root toggle
+// table of an -activity run: which ports and flip-flops kept clusters
+// dirty, busiest first.
+func printActivity(eng *c2nn.Engine, probe *analyze.Probe, topN int) {
+	dirty, skipped := eng.ActivityCounters()
+	rate := 0.0
+	if tot := dirty + skipped; tot > 0 {
+		rate = float64(skipped) / float64(tot)
+	}
+	st := probe.Stats()
+	fmt.Printf("\nactivity: %d cluster dispatches skipped of %d (%.1f%%), dirty cost %.1f%% of static\n",
+		skipped, dirty+skipped, 100*rate, 100*st.DirtyCostFraction)
+	togs := probe.RootToggles()
+	if topN > 0 && len(togs) > topN {
+		togs = togs[:topN]
+	}
+	fmt.Printf("root toggle rates (top %d of %d):\n", len(togs), len(probe.RootToggles()))
+	fmt.Printf("%-28s %10s %8s\n", "root", "toggles", "rate")
+	for _, tg := range togs {
+		fmt.Printf("%-28s %10d %7.1f%%\n", tg.Name, tg.Toggles, 100*tg.Rate)
+	}
 }
 
 // printProfile renders the compile-stage breakdown and the hot-layer

@@ -1,11 +1,17 @@
 package analyze
 
 import (
-	"errors"
+	"fmt"
+	"sort"
 
 	"c2nn/internal/exec/plan"
 	"c2nn/internal/simengine"
 )
+
+// ErrNoClusters re-exports the typed error NewProbe wraps when an
+// engine's plan carries no usable cluster metadata, so callers can
+// errors.Is against this package alone.
+var ErrNoClusters = plan.ErrNoClusters
 
 // Probe observes the dynamic counterpart of the static clustering: it
 // samples the sequential roots (input ports and FF Q bits) of a running
@@ -32,8 +38,14 @@ type Probe struct {
 	// rootUnits[r] are the PI-block units whose lane-0 values make up
 	// root r's sampled state (port bits, or the single FF Q bit).
 	rootUnits [][]int32
+	rootNames []string
 	prev      [][]bool
 	first     bool
+	// gen mirrors the engine's state generation: Reset, PokeUnit and
+	// overlay churn advance it, and the probe re-enters the all-dirty
+	// first-step state when it observes the change — exactly the
+	// backend's invalidation behaviour.
+	gen uint64
 
 	// clusterCost[c] is the static packed-word-op price of cluster c.
 	clusterCost []int64
@@ -42,8 +54,10 @@ type Probe struct {
 	steps      int
 	dirtySum   int64 // Σ dirty clusters per step
 	dirtyCost  int64 // Σ static cost of dirty clusters per step
+	lastDirty  int   // dirty clusters of the most recent sample
 	dirty      []bool
 	rootDirty  []bool
+	toggles    []int64   // per-root toggle tallies (excluding forced all-dirty steps)
 	rootOfIdxs [][]int32 // cluster -> root indices (flattened refs)
 }
 
@@ -64,23 +78,28 @@ type ActivityStats struct {
 }
 
 // NewProbe builds an activity probe over the engine's plan. The plan
-// must carry cluster metadata (run Cones or Run first).
+// must carry cluster metadata (run Cones or Run first, or create the
+// engine with Options.Activity); a plan without any — hand-built plans
+// included — yields an error wrapping ErrNoClusters.
 func NewProbe(eng *simengine.Engine) (*Probe, error) {
 	p := eng.Plan()
-	if p.Clusters == nil {
-		return nil, errors.New("analyze: plan carries no cluster metadata (run analyze.Run first)")
+	if p.Clusters == nil || len(p.Clusters.Clusters) == 0 {
+		return nil, fmt.Errorf("analyze: %w (run analyze.Run first)", ErrNoClusters)
 	}
 	meta := p.Clusters
 	m := eng.Model()
 
-	pr := &Probe{eng: eng, first: true}
+	pr := &Probe{eng: eng, first: true, gen: eng.StateGeneration()}
 	// Root order mirrors Cones: ports first, then feedback.
 	for _, port := range m.Inputs {
 		pr.rootUnits = append(pr.rootUnits, port.Units)
+		pr.rootNames = append(pr.rootNames, "port "+port.Name)
 	}
-	for _, fb := range m.Feedback {
+	for fi, fb := range m.Feedback {
 		pr.rootUnits = append(pr.rootUnits, []int32{fb.ToPI})
+		pr.rootNames = append(pr.rootNames, fmt.Sprintf("ff[%d] q=%d", fi, fb.ToPI))
 	}
+	pr.toggles = make([]int64, len(pr.rootUnits))
 	pr.prev = make([][]bool, len(pr.rootUnits))
 	for r := range pr.prev {
 		pr.prev[r] = make([]bool, len(pr.rootUnits[r]))
@@ -111,8 +130,14 @@ func NewProbe(eng *simengine.Engine) (*Probe, error) {
 // Sample reads the roots, diffs against the previous sample and tallies
 // the clusters the step dirtied. The first sample counts everything
 // dirty (there is no previous state to diff against — exactly the
-// backend's first-pass behaviour).
+// backend's first-pass behaviour), and a state-generation advance on
+// the engine (Reset, PokeUnit, overlay churn) re-enters that all-dirty
+// state: those mutations rewrite values the root diff cannot see.
 func (pr *Probe) Sample() {
+	if g := pr.eng.StateGeneration(); g != pr.gen {
+		pr.gen = g
+		pr.first = true
+	}
 	for r, units := range pr.rootUnits {
 		toggled := false
 		for i, u := range units {
@@ -121,6 +146,9 @@ func (pr *Probe) Sample() {
 				toggled = true
 				pr.prev[r][i] = v
 			}
+		}
+		if toggled && !pr.first {
+			pr.toggles[r]++
 		}
 		pr.rootDirty[r] = toggled || pr.first
 	}
@@ -156,9 +184,15 @@ func (pr *Probe) Sample() {
 		}
 	}
 	pr.steps++
+	pr.lastDirty = nDirty
 	pr.dirtySum += int64(nDirty)
 	pr.dirtyCost += costDirty
 }
+
+// LastDirtyClusters reports the dirty-cluster count of the most recent
+// Sample — what an activity-enabled backend must have dispatched for
+// the matching pass, which makes the probe a skip-decision oracle.
+func (pr *Probe) LastDirtyClusters() int { return pr.lastDirty }
 
 // Stats returns the accumulated activity summary.
 func (pr *Probe) Stats() ActivityStats {
@@ -175,4 +209,30 @@ func (pr *Probe) Stats() ActivityStats {
 		st.DirtyCostFraction = float64(pr.dirtyCost) / (float64(pr.totalCost) * float64(pr.steps))
 	}
 	return st
+}
+
+// RootToggle is one root's toggle tally over a probe run.
+type RootToggle struct {
+	// Name labels the root ("port wr_en", "ff[3] q=17").
+	Name string `json:"name"`
+	// Toggles counts sampled steps on which the root changed (forced
+	// all-dirty steps excluded).
+	Toggles int64 `json:"toggles"`
+	// Rate is Toggles over the sampled step count.
+	Rate float64 `json:"rate"`
+}
+
+// RootToggles reports per-root toggle rates, busiest first (ties keep
+// probe root order: ports before FFs) — the data behind the `c2nn
+// profile` toggle table.
+func (pr *Probe) RootToggles() []RootToggle {
+	out := make([]RootToggle, len(pr.toggles))
+	for r := range pr.toggles {
+		out[r] = RootToggle{Name: pr.rootNames[r], Toggles: pr.toggles[r]}
+		if pr.steps > 0 {
+			out[r].Rate = float64(pr.toggles[r]) / float64(pr.steps)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Toggles > out[j].Toggles })
+	return out
 }

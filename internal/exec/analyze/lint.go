@@ -167,7 +167,7 @@ func lintClusters(p *plan.Plan, meta *plan.ClusterMeta) []diag.Diagnostic {
 						bad = true
 					}
 				default:
-					pl, pr := producerOf(net, u)
+					pl, pr := plan.ProducerOf(net, u)
 					if pl < 0 || pl >= li {
 						continue
 					}

@@ -1,0 +1,190 @@
+package backend
+
+import (
+	"c2nn/internal/exec/plan"
+	"c2nn/internal/obs"
+)
+
+// activity is the shared run-time state of activity-driven execution,
+// embedded in all three substrates. The substrate supplies the one
+// piece that depends on the native element type — a rootToggled
+// closure that diffs a root's current activation rows against a
+// previous-pass snapshot and refreshes the snapshot — and the shared
+// code does the rest: dirtiness propagation along the cluster graph at
+// the start of every Forward, and per-group row subsetting so only
+// rows of dirty clusters are dispatched.
+//
+// The skip pass is scoped to Forward: begin sets the pass flag after
+// propagation and end clears it, so RunLayer called directly (the
+// fault-overlay loop in simengine, unit tests) always dispatches every
+// row. Skipping is therefore never active while an overlay is forcing
+// lanes — a clean-skip can never hide an injected fault.
+type activity struct {
+	enabled bool
+	invalid bool // next pass treats every cluster dirty
+	pass    bool // a skip pass is in flight (Forward only)
+
+	idx  *plan.ActivityIndex
+	meta *plan.ClusterMeta
+	// rootOff[r] is root r's flattened unit offset in the substrate's
+	// snapshot buffer; units is the buffer's total unit count.
+	rootOff []int
+	units   int
+
+	rootDirty []bool
+	dirty     []bool
+	// rows/tabs are per-(layer,group) gather scratch, reused across
+	// passes so partial dispatches allocate only on first use.
+	rows [][][]int32
+	tabs [][][]uint64
+
+	nDirty, nSkipped int64 // lifetime cluster dispatch tallies
+	cDirty, cSkipped *obs.Counter
+}
+
+// enable builds the dispatch state over the plan's activity index,
+// constructing (and attaching) the index when the plan was compiled
+// without Options.Activity. Idempotent.
+func (a *activity) enable(p *plan.Plan, tr *obs.Trace) error {
+	if a.enabled {
+		return nil
+	}
+	idx := p.Activity
+	if idx == nil {
+		var err error
+		idx, err = plan.BuildActivityIndex(p)
+		if err != nil {
+			return err
+		}
+		p.Activity = idx
+	}
+	a.idx, a.meta = idx, p.Clusters
+	a.rootOff = make([]int, len(idx.RootSlots))
+	for r, slots := range idx.RootSlots {
+		a.rootOff[r] = a.units
+		a.units += len(slots)
+	}
+	a.rootDirty = make([]bool, idx.NumRoots)
+	a.dirty = make([]bool, len(a.meta.Clusters))
+	a.rows = make([][][]int32, len(p.Layers))
+	a.tabs = make([][][]uint64, len(p.Layers))
+	for li := range p.Layers {
+		a.rows[li] = make([][]int32, len(p.Layers[li].Groups))
+		a.tabs[li] = make([][]uint64, len(p.Layers[li].Groups))
+	}
+	if tr != nil {
+		a.cDirty = tr.Counter("exec.cluster.dirty")
+		a.cSkipped = tr.Counter("exec.cluster.skipped")
+	}
+	a.invalid = true
+	a.enabled = true
+	return nil
+}
+
+// begin opens a skip pass: rootToggled is called once per root to diff
+// its planes against the snapshot (and refresh it), then dirtiness
+// propagates forward through the cluster graph — clusters are sorted
+// by layer, so every predecessor is decided before its readers. An
+// invalidation (first pass, Reset, PokeUnit, overlay churn) forces
+// every root dirty while still refreshing the snapshot. No-op when
+// activity is disabled.
+func (a *activity) begin(rootToggled func(root int) bool) {
+	if !a.enabled {
+		return
+	}
+	inval := a.invalid
+	a.invalid = false
+	for r := range a.rootDirty {
+		t := rootToggled(r)
+		a.rootDirty[r] = t || inval
+	}
+	var nd int64
+	for ci := range a.meta.Clusters {
+		// An invalidated pass dirties every cluster directly: clusters
+		// rooted only at constants have no roots and no predecessors, so
+		// root propagation alone would never recompute them — not even on
+		// the first pass ever.
+		d := inval
+		for _, ri := range a.idx.ClusterRoots[ci] {
+			if d {
+				break
+			}
+			if a.rootDirty[ri] {
+				d = true
+			}
+		}
+		if !d {
+			for _, pc := range a.meta.Clusters[ci].Preds {
+				if a.dirty[pc] {
+					d = true
+					break
+				}
+			}
+		}
+		a.dirty[ci] = d
+		if d {
+			nd++
+		}
+	}
+	ns := int64(len(a.dirty)) - nd
+	a.nDirty += nd
+	a.nSkipped += ns
+	if a.cDirty != nil {
+		a.cDirty.Add(nd)
+		a.cSkipped.Add(ns)
+	}
+	a.pass = true
+}
+
+// end closes the skip pass; RunLayer dispatches in full again.
+func (a *activity) end() { a.pass = false }
+
+// rowsFor returns the rows (and parallel LUT tables) of one group to
+// dispatch: the full group outside a skip pass or for layers without
+// kernel IR, the dirty subset during one. Empty rows mean the whole
+// group is clean — skip the dispatch entirely, the output slots still
+// hold last pass's values.
+func (a *activity) rowsFor(li, gi int, g *plan.RowGroup) ([]int32, []uint64) {
+	if !a.pass || a.idx.Segments[li] == nil {
+		return g.Rows, g.Tables
+	}
+	segs := a.idx.Segments[li][gi]
+	nd := 0
+	for si := range segs {
+		if a.dirty[segs[si].Cluster] {
+			nd++
+		}
+	}
+	switch nd {
+	case len(segs):
+		return g.Rows, g.Tables
+	case 0:
+		return nil, nil
+	}
+	rows := a.rows[li][gi][:0]
+	tabs := a.tabs[li][gi][:0]
+	for si := range segs {
+		s := &segs[si]
+		if !a.dirty[s.Cluster] {
+			continue
+		}
+		rows = append(rows, s.Rows...)
+		if g.Tables != nil {
+			tabs = append(tabs, s.Tables...)
+		}
+	}
+	a.rows[li][gi] = rows
+	a.tabs[li][gi] = tabs
+	if g.Tables == nil {
+		return rows, nil
+	}
+	return rows, tabs
+}
+
+// invalidate forces every cluster dirty on the next pass — the hook
+// for state mutations the root diff cannot see (Reset, PokeUnit,
+// overlay install/remove).
+func (a *activity) invalidate() { a.invalid = true }
+
+// counters reports the lifetime dirty/skipped cluster dispatch tallies.
+func (a *activity) counters() (dirty, skipped int64) { return a.nDirty, a.nSkipped }

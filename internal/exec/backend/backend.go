@@ -79,6 +79,24 @@ type Backend interface {
 	Zero()
 	// MemoryBytes reports the arena size in bytes.
 	MemoryBytes() int64
+	// EnableActivity turns on activity-driven execution: every Forward
+	// starts by diffing the sequential roots (input ports, FF Q bits)
+	// against the previous pass, propagates dirtiness through the
+	// plan's cluster graph, and dispatches only rows of dirty clusters
+	// — clean clusters' output slots keep last pass's values. Needs
+	// cluster metadata and an alias-free arena (plan.Options.Activity
+	// provides both); returns plan.ErrNoClusters / plan.ErrAliasedSlots
+	// otherwise. RunLayer called directly is never subject to skipping.
+	EnableActivity() error
+	// InvalidateActivity forces every cluster dirty on the next
+	// Forward — required after state mutations the root diff cannot
+	// see (arena Zero/Reset, direct unit pokes, fault-overlay churn).
+	// No-op when activity is disabled.
+	InvalidateActivity()
+	// ActivityCounters reports how many clusters were dispatched dirty
+	// and skipped clean over the backend's lifetime (both zero when
+	// activity is disabled).
+	ActivityCounters() (dirty, skipped int64)
 }
 
 // New builds a backend of the given kind over the plan. The pool may be
@@ -142,11 +160,12 @@ func (in *instr) beginLayer(li int, k plan.Kernel) obs.Span {
 	return in.tr.Begin(in.names[li])
 }
 
-// countGroup tallies the rows of one dispatched row group on its
-// kernel-kind counter.
-func (in *instr) countGroup(g *plan.RowGroup) {
+// countRows tallies dispatched rows on their kernel-kind counter.
+// Activity-driven passes pass the dirty subset, so the counters
+// reflect work actually done, not plan shape.
+func (in *instr) countRows(k plan.KernelKind, rows int) {
 	if in.tr == nil {
 		return
 	}
-	in.kinds[g.Kind].Add(int64(len(g.Rows)))
+	in.kinds[k].Add(int64(rows))
 }

@@ -22,6 +22,12 @@ type bpBackend struct {
 	pool  *Pool
 	in    instr
 	acts  []uint64 // ArenaUnits × words, neuron-major
+	act   activity
+	// actPrev snapshots the root units' packed rows at the start of
+	// each activity pass; tailMask blinds the diff to the garbage
+	// lanes beyond the batch in the last word.
+	actPrev  []uint64
+	tailMask uint64
 }
 
 func newBitPacked(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) (*bpBackend, error) {
@@ -66,9 +72,47 @@ func (e *bpBackend) Kind() Kind { return BitPacked }
 func (e *bpBackend) Batch() int { return e.batch }
 
 func (e *bpBackend) Forward() {
+	e.act.begin(e.rootToggled)
 	for li := range e.plan.Layers {
 		e.RunLayer(li)
 	}
+	e.act.end()
+}
+
+// EnableActivity turns on clean-cluster skipping (Backend interface).
+func (e *bpBackend) EnableActivity() error {
+	if err := e.act.enable(e.plan, e.in.tr); err != nil {
+		return err
+	}
+	if e.actPrev == nil {
+		e.actPrev = make([]uint64, e.act.units*e.words)
+		e.tailMask = tensor.PackedTailMask(e.batch)
+	}
+	return nil
+}
+
+// InvalidateActivity forces an all-dirty next pass (Backend interface).
+func (e *bpBackend) InvalidateActivity() { e.act.invalidate() }
+
+// ActivityCounters reports dirty/skipped tallies (Backend interface).
+func (e *bpBackend) ActivityCounters() (int64, int64) { return e.act.counters() }
+
+// rootToggled diffs root r's packed rows against the snapshot — one
+// XOR + zero test per word, last word masked to real lanes — and
+// refreshes the snapshot rows that changed.
+func (e *bpBackend) rootToggled(r int) bool {
+	slots := e.act.idx.RootSlots[r]
+	off, words := e.act.rootOff[r], e.words
+	changed := false
+	for i, s := range slots {
+		cur := e.acts[int(s)*words : int(s)*words+words]
+		prev := e.actPrev[(off+i)*words : (off+i+1)*words]
+		if tensor.PackedRowDiffers(cur, prev, e.tailMask) {
+			changed = true
+			copy(prev, cur)
+		}
+	}
+	return changed
 }
 
 func (e *bpBackend) RunLayer(li int) {
@@ -94,9 +138,13 @@ func (e *bpBackend) RunLayer(li int) {
 	}
 	for gi := range l.Groups {
 		g := &l.Groups[gi]
-		e.in.countGroup(g)
-		e.pool.Run(len(g.Rows), func(lo, hi int) {
-			rows := g.Rows[lo:hi]
+		gRows, gTables := e.act.rowsFor(li, gi, g)
+		if len(gRows) == 0 {
+			continue // every row's cluster is clean this pass
+		}
+		e.in.countRows(g.Kind, len(gRows))
+		e.pool.Run(len(gRows), func(lo, hi int) {
+			rows := gRows[lo:hi]
 			switch g.Kind {
 			case plan.KConst0:
 				tensor.PackedConstRows(out, words, rows, false)
@@ -117,7 +165,7 @@ func (e *bpBackend) RunLayer(li int) {
 			case plan.KXor2:
 				w.PackedXorRows(e.acts, words, out, rows)
 			case plan.KTable:
-				w.PackedTableRows(e.acts, words, out, rows, g.Tables[lo:hi])
+				w.PackedTableRows(e.acts, words, out, rows, gTables[lo:hi])
 			case plan.KLinear:
 				w.PackedLinearRows(e.acts, words, out, rows)
 			default:

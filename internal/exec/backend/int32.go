@@ -14,6 +14,10 @@ type i32Backend struct {
 	pool  *Pool
 	in    instr
 	acts  []int32 // ArenaUnits × batch, neuron-major
+	act   activity
+	// actPrev snapshots the root units' lanes at the start of each
+	// activity pass for the toggle diff.
+	actPrev []int32
 }
 
 func newInt32(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) *i32Backend {
@@ -25,9 +29,48 @@ func (e *i32Backend) Kind() Kind { return Int32 }
 func (e *i32Backend) Batch() int { return e.batch }
 
 func (e *i32Backend) Forward() {
+	e.act.begin(e.rootToggled)
 	for li := range e.plan.Layers {
 		e.RunLayer(li)
 	}
+	e.act.end()
+}
+
+// EnableActivity turns on clean-cluster skipping (Backend interface).
+func (e *i32Backend) EnableActivity() error {
+	if err := e.act.enable(e.plan, e.in.tr); err != nil {
+		return err
+	}
+	if e.actPrev == nil {
+		e.actPrev = make([]int32, e.act.units*e.batch)
+	}
+	return nil
+}
+
+// InvalidateActivity forces an all-dirty next pass (Backend interface).
+func (e *i32Backend) InvalidateActivity() { e.act.invalidate() }
+
+// ActivityCounters reports dirty/skipped tallies (Backend interface).
+func (e *i32Backend) ActivityCounters() (int64, int64) { return e.act.counters() }
+
+// rootToggled diffs root r's lanes against the snapshot and refreshes
+// the rows that changed.
+func (e *i32Backend) rootToggled(r int) bool {
+	slots := e.act.idx.RootSlots[r]
+	off, b := e.act.rootOff[r], e.batch
+	changed := false
+	for i, s := range slots {
+		cur := e.acts[int(s)*b : int(s)*b+b]
+		prev := e.actPrev[(off+i)*b : (off+i+1)*b]
+		for j := range cur {
+			if cur[j] != prev[j] {
+				changed = true
+				copy(prev, cur)
+				break
+			}
+		}
+	}
+	return changed
 }
 
 func (e *i32Backend) RunLayer(li int) {
@@ -45,9 +88,13 @@ func (e *i32Backend) RunLayer(li int) {
 	}
 	for gi := range l.Groups {
 		g := &l.Groups[gi]
-		e.in.countGroup(g)
-		e.pool.Run(len(g.Rows), func(lo, hi int) {
-			e.groupRows(l, g, lo, hi)
+		gRows, gTables := e.act.rowsFor(li, gi, g)
+		if len(gRows) == 0 {
+			continue // every row's cluster is clean this pass
+		}
+		e.in.countRows(g.Kind, len(gRows))
+		e.pool.Run(len(gRows), func(lo, hi int) {
+			e.groupRows(l, g.Kind, gRows, gTables, lo, hi)
 		})
 	}
 	sp.End()
@@ -86,17 +133,19 @@ func (e *i32Backend) genericRow(l *plan.Layer, r int) {
 	}
 }
 
-// groupRows runs one row group's specialized kernel in int32. Each
-// specialized form is equal to genericRow under the binary-activation
-// invariant, which the differential tests enforce across substrates.
-func (e *i32Backend) groupRows(l *plan.Layer, g *plan.RowGroup, lo, hi int) {
+// groupRows runs one specialized kernel over a row list (with tables
+// parallel to rows for KTable) — the whole group, or the dirty subset
+// an activity pass gathered. Each specialized form is equal to
+// genericRow under the binary-activation invariant, which the
+// differential tests enforce across substrates.
+func (e *i32Backend) groupRows(l *plan.Layer, kind plan.KernelKind, rows []int32, tables []uint64, lo, hi int) {
 	b := e.batch
 	w := l.WInt
 	for ri := lo; ri < hi; ri++ {
-		r := int(g.Rows[ri])
+		r := int(rows[ri])
 		o := e.acts[(int(l.OutSlot)+r)*b : (int(l.OutSlot)+r+1)*b]
 		p0, p1 := w.RowPtr[r], w.RowPtr[r+1]
-		switch g.Kind {
+		switch kind {
 		case plan.KConst0:
 			for i := range o {
 				o[i] = 0
@@ -120,7 +169,7 @@ func (e *i32Backend) groupRows(l *plan.Layer, g *plan.RowGroup, lo, hi int) {
 					o[i] &= xv
 				}
 			}
-			if g.Kind == plan.KNand {
+			if kind == plan.KNand {
 				for i := range o {
 					o[i] = 1 - o[i]
 				}
@@ -133,7 +182,7 @@ func (e *i32Backend) groupRows(l *plan.Layer, g *plan.RowGroup, lo, hi int) {
 					o[i] |= xv
 				}
 			}
-			if g.Kind == plan.KNor {
+			if kind == plan.KNor {
 				for i := range o {
 					o[i] = 1 - o[i]
 				}
@@ -152,7 +201,7 @@ func (e *i32Backend) groupRows(l *plan.Layer, g *plan.RowGroup, lo, hi int) {
 				}
 			}
 		case plan.KTable:
-			tab := g.Tables[ri]
+			tab := tables[ri]
 			for i := range o {
 				idx := 0
 				for j, p := 0, p0; p < p1; j, p = j+1, p+1 {

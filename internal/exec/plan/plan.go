@@ -106,10 +106,16 @@ type Plan struct {
 	// Layers are the lowered layers, in execution order.
 	Layers []Layer
 	// Clusters is the cone-of-influence clustering of the plan's rows,
-	// attached by internal/exec/analyze (nil until then). It is the
-	// metadata the activity-driven backend consumes to skip clean
-	// clusters; see cluster.go for the format and the serialization.
+	// attached by Options.Activity at compile time or later by
+	// internal/exec/analyze (nil until then). It is the metadata the
+	// activity-driven backend consumes to skip clean clusters; see
+	// cluster.go for the format and the serialization.
 	Clusters *ClusterMeta
+	// Activity is the activity-driven dispatch index (activity.go),
+	// compiled in by Options.Activity; nil otherwise. Backends lazily
+	// build it through BuildActivityIndex when activity is enabled on
+	// a plan compiled without the option.
+	Activity *ActivityIndex
 }
 
 // Options tunes plan compilation.
@@ -121,6 +127,12 @@ type Options struct {
 	// cancelled out of every weight row — liveness would recycle those
 	// slots mid-pass.
 	DisableArenaReuse bool
+	// Activity compiles the plan for activity-driven execution: the
+	// cone clustering is computed and attached, every row group is cut
+	// along cluster boundaries into the dispatch index (activity.go),
+	// and arena reuse is disabled so clean clusters' output slots
+	// survive skipped passes (the slot-injectivity requirement).
+	Activity bool
 	// Trace, when non-nil, records a "plan" span with lowering
 	// attributes and the arena-allocation counters
 	// (plan.arena.slots_reused / plan.arena.slots_fresh).
@@ -179,6 +191,9 @@ func CompileOpts(m *nn.Model, opts Options) (*Plan, error) {
 		}
 	}
 	permanent := make([]bool, nLayers)
+	if opts.Activity {
+		opts.DisableArenaReuse = true
+	}
 	if opts.DisableArenaReuse {
 		for s := range permanent {
 			permanent[s] = true
@@ -245,6 +260,13 @@ func CompileOpts(m *nn.Model, opts Options) (*Plan, error) {
 			kinds[pl.Groups[gi].Kind] += int64(len(pl.Groups[gi].Rows))
 		}
 		p.Layers = append(p.Layers, pl)
+	}
+	if opts.Activity {
+		idx, err := BuildActivityIndex(p) // computes and attaches Clusters
+		if err != nil {
+			return nil, err
+		}
+		p.Activity = idx
 	}
 	if tr := opts.Trace; tr != nil {
 		tr.Counter("plan.arena.slots_reused").Add(a.reused)

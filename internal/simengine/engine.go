@@ -77,6 +77,15 @@ type Options struct {
 	// forward pass. Required for fault-injection overlays (WithFaults),
 	// which read and rewrite unit activations between layers.
 	KeepAllActivations bool
+	// Activity turns on activity-driven execution: every Forward
+	// starts by diffing the sequential roots (input ports, FF Q bits)
+	// against the previous pass and skips the kernels of clusters that
+	// cannot have changed, leaving their output slots holding last
+	// pass's values. Implies KeepAllActivations-style arena pinning
+	// (plan compilation disables arena reuse) so skipped slots are
+	// never recycled. Bit-identical to a non-activity engine on every
+	// workload — the differential battery enforces it.
+	Activity bool
 	// Trace, when non-nil, attaches the observability sink: the plan
 	// lowering records a "plan" span and arena counters, every Forward
 	// records a "forward" span with per-layer kernel child spans, and
@@ -98,17 +107,22 @@ type Overlay interface {
 // Engine runs a model over a fixed-size stimulus batch with persistent
 // flip-flop state per batch lane.
 type Engine struct {
-	model   *nn.Model
-	plan    *plan.Plan
-	be      backend.Backend
-	pool    *backend.Pool
-	batch   int
-	workers int
-	prec    Precision
-	keepAll bool
-	overlay Overlay
-	tr      *obs.Trace
-	close   sync.Once
+	model    *nn.Model
+	plan     *plan.Plan
+	be       backend.Backend
+	pool     *backend.Pool
+	batch    int
+	workers  int
+	prec     Precision
+	keepAll  bool
+	activity bool
+	overlay  Overlay
+	tr       *obs.Trace
+	close    sync.Once
+	// gen counts state mutations the activity root-diff cannot observe
+	// (Reset, PokeUnit, overlay churn); observers like analyze.Probe
+	// compare generations to re-enter their all-dirty state in step.
+	gen uint64
 }
 
 // New creates an engine for the model: the model is lowered to an
@@ -134,6 +148,7 @@ func New(model *nn.Model, opts Options) (*Engine, error) {
 	}
 	p, err := plan.CompileOpts(model, plan.Options{
 		DisableArenaReuse: opts.KeepAllActivations,
+		Activity:          opts.Activity,
 		Trace:             opts.Trace,
 	})
 	if err != nil {
@@ -145,16 +160,23 @@ func New(model *nn.Model, opts Options) (*Engine, error) {
 		pool.Close()
 		return nil, err
 	}
+	if opts.Activity {
+		if err := be.EnableActivity(); err != nil {
+			pool.Close()
+			return nil, fmt.Errorf("simengine: %w", err)
+		}
+	}
 	e := &Engine{
-		model:   model,
-		plan:    p,
-		be:      be,
-		pool:    pool,
-		batch:   opts.Batch,
-		workers: opts.Workers,
-		prec:    opts.Precision,
-		keepAll: opts.KeepAllActivations,
-		tr:      opts.Trace,
+		model:    model,
+		plan:     p,
+		be:       be,
+		pool:     pool,
+		batch:    opts.Batch,
+		workers:  opts.Workers,
+		prec:     opts.Precision,
+		keepAll:  opts.KeepAllActivations,
+		activity: opts.Activity,
+		tr:       opts.Trace,
 	}
 	runtime.SetFinalizer(e, func(e *Engine) { e.Close() })
 	e.Reset()
@@ -186,6 +208,19 @@ func (e *Engine) Precision() Precision { return e.prec }
 // Trace returns the attached observability sink (nil when disabled).
 func (e *Engine) Trace() *obs.Trace { return e.tr }
 
+// ActivityEnabled reports whether activity-driven skipping is on.
+func (e *Engine) ActivityEnabled() bool { return e.activity }
+
+// ActivityCounters reports how many clusters the backend dispatched
+// dirty and skipped clean over the engine's lifetime (both zero
+// without Options.Activity).
+func (e *Engine) ActivityCounters() (dirty, skipped int64) { return e.be.ActivityCounters() }
+
+// StateGeneration counts the state mutations the activity root diff
+// cannot observe (Reset, PokeUnit, WithFaults churn). Observers like
+// analyze.Probe re-enter their all-dirty state when it advances.
+func (e *Engine) StateGeneration() uint64 { return e.gen }
+
 // Reset clears all activations — including the Q lanes of flip-flops
 // without initial state — and restores flip-flop initial state in every
 // lane.
@@ -197,6 +232,10 @@ func (e *Engine) Reset() {
 			e.be.SetUniform(e.plan.Slot[fb.ToPI], true)
 		}
 	}
+	// The wipe rewrote intermediate slots behind the root diff's back:
+	// the next activity pass must recompute everything.
+	e.gen++
+	e.be.InvalidateActivity()
 }
 
 // SetInput loads an input port: values[b] is the port value for batch
@@ -261,6 +300,11 @@ func (e *Engine) WithFaults(o Overlay) error {
 		return errors.New("simengine: WithFaults needs an engine with KeepAllActivations")
 	}
 	e.overlay = o
+	// Installing forces lanes mid-pass; removing leaves forced values
+	// behind in intermediate slots. Either way the root diff cannot
+	// see it, so the next activity pass recomputes everything.
+	e.gen++
+	e.be.InvalidateActivity()
 	return nil
 }
 
@@ -272,8 +316,12 @@ func (e *Engine) PeekUnit(unit int32, lane int) bool {
 
 // PokeUnit writes one lane of a network unit's activation. Writes to
 // units a later layer reads only persist under KeepAllActivations.
+// A poke can land on any unit — including intermediates the activity
+// root diff never inspects — so it invalidates the dirtiness state.
 func (e *Engine) PokeUnit(unit int32, lane int, v bool) {
 	e.be.Set(e.plan.Slot[unit], lane, v)
+	e.gen++
+	e.be.InvalidateActivity()
 }
 
 // Forward runs one combinational pass: every plan layer's fused kernel

@@ -1,0 +1,34 @@
+package tensor
+
+// Plane-diff helpers for activity-driven execution: the bit-packed
+// backend detects root toggles by XOR-diffing each root's current
+// activation row against a previous-pass snapshot — one XOR and one
+// zero test per word. Lanes beyond the batch in the last word carry
+// garbage (SetUniform writes whole words), so the last word is masked
+// to the real lanes before the test; a garbage-lane difference must
+// never dirty a cluster.
+
+// PackedTailMask returns the mask of real stimulus lanes in the last
+// word of a packed row: ones in the low batch%64 bits, or all ones
+// when the batch fills its words exactly.
+func PackedTailMask(batch int) uint64 {
+	if r := batch % 64; r != 0 {
+		return 1<<uint(r) - 1
+	}
+	return ^uint64(0)
+}
+
+// PackedRowDiffers reports whether two packed rows of equal length
+// differ in any real lane, masking the final word with tailMask.
+func PackedRowDiffers(cur, prev []uint64, tailMask uint64) bool {
+	n := len(cur)
+	if n == 0 {
+		return false
+	}
+	for i := 0; i < n-1; i++ {
+		if cur[i] != prev[i] {
+			return true
+		}
+	}
+	return (cur[n-1]^prev[n-1])&tailMask != 0
+}

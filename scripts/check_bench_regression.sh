@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # check_bench_regression.sh NEW.json BASELINE.json
+# check_bench_regression.sh -activity BENCH_activity.json
 #
-# Diffs a fresh BENCH_exec.json against the committed baseline and fails
-# when bitpacked throughput regresses more than 20% on any circuit row.
+# Default mode diffs a fresh BENCH_exec.json against the committed
+# baseline and fails when bitpacked throughput regresses more than 20%
+# on any circuit row.
 #
 # Absolute g·c/s numbers vary with runner hardware, so each row's
 # bitpacked throughput is normalized by the same run's float32
@@ -10,7 +12,48 @@
 # relative speed tracks the machine, making packed_speedup a
 # machine-portable proxy for the packed path's health. Rows present in
 # only one file are reported but not fatal (circuit sets may grow).
+#
+# -activity mode checks a BENCH_activity.json instead: every row must be
+# bit-equal, the uart_smoke.tb row must have a positive skip rate, and
+# dense-random rows (the skip machinery's worst case) must not lose more
+# than 20% throughput to the root-diff overhead.
 set -euo pipefail
+
+if [ "${1:-}" = "-activity" ]; then
+  act=${2:?usage: check_bench_regression.sh -activity BENCH_activity.json}
+  fail=0
+  while IFS=$'\t' read -r circuit l workload equal skip speedup; do
+    tag="$circuit L=$l $workload"
+    if [ "$equal" != "true" ]; then
+      echo "FAIL  $tag: activity outputs not bit-identical to baseline"
+      fail=1
+      continue
+    fi
+    if [ "$workload" = "uart_smoke.tb" ]; then
+      ok=$(awk -v s="$skip" 'BEGIN { print (s > 0) ? 1 : 0 }')
+      if [ "$ok" != "1" ]; then
+        echo "FAIL  $tag: skip rate $skip, want > 0 (idle frames must skip)"
+        fail=1
+        continue
+      fi
+    fi
+    if [ "$workload" = "dense_random" ]; then
+      ok=$(awk -v sp="$speedup" 'BEGIN { print (sp >= 0.8) ? 1 : 0 }')
+      if [ "$ok" != "1" ]; then
+        echo "FAIL  $tag: dense speedup $speedup, limit 0.8 (diff overhead too high)"
+        fail=1
+        continue
+      fi
+    fi
+    echo "OK    $tag: equal, skip_rate=$skip, speedup=$speedup"
+  done < <(jq -r '.rows[] | "\(.circuit)\t\(.l)\t\(.workload)\t\(.equal)\t\(.skip_rate)\t\(.speedup)"' "$act")
+  nrows=$(jq '.rows | length' "$act")
+  if [ "$nrows" -lt 1 ]; then
+    echo "FAIL  no activity rows in $act"
+    fail=1
+  fi
+  exit $fail
+fi
 
 new=${1:?usage: check_bench_regression.sh NEW.json BASELINE.json}
 base=${2:?usage: check_bench_regression.sh NEW.json BASELINE.json}
