@@ -11,6 +11,7 @@
 //	bench -ablations
 //	bench -backends                    # float32 / int32 / bitpacked comparison
 //	bench -json -out BENCH_exec.json   # backend comparison as JSON (CI artifact)
+//	bench -telemetry                   # telemetry-layer overhead (on vs off)
 //	bench -all
 package main
 
@@ -44,6 +45,8 @@ func main() {
 		analyzeO  = flag.String("analyze-out", "", "write the -analyze rows as JSON to this file")
 		activityF = flag.Bool("activity", false, "measure activity-driven execution (skip rate, speedup, bit-equality) on testbench and dense workloads")
 		activityO = flag.String("activity-out", "", "write the -activity rows as JSON to this file")
+		telemF    = flag.Bool("telemetry", false, "measure the continuous-telemetry layer's overhead (stats+sampler+flight recorder on vs off)")
+		telemO    = flag.String("telemetry-out", "", "write the -telemetry rows as JSON to this file")
 		all       = flag.Bool("all", false, "run everything")
 		circuitsF = flag.String("circuits", "", "comma-separated circuit names for -table1 (default all)")
 		lsF       = flag.String("L", "3,7,11", "comma-separated LUT sizes for -table1")
@@ -297,6 +300,35 @@ func main() {
 		}
 		fmt.Println("\n=== Activity-driven execution (skip rate, speedup) ===")
 		fmt.Print(bench.FormatActivity(rows))
+	}
+
+	if *telemF || *all {
+		ran = true
+		cfg := bench.DefaultTelemetryConfig()
+		cfg.Batch = *batch
+		var names []string
+		if *circuitsF != "" {
+			for _, s := range strings.Split(*circuitsF, ",") {
+				names = append(names, strings.TrimSpace(s))
+			}
+		}
+		rows, err := bench.RunTelemetry(names, cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if *telemO != "" {
+			f, err := os.Create(*telemO)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteTelemetryJSON(f, rows); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Println("\n=== Telemetry overhead (stats + sampler + flight recorder) ===")
+		fmt.Print(bench.FormatTelemetry(rows))
 	}
 
 	if *influence || *all {

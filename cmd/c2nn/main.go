@@ -13,6 +13,7 @@
 //	c2nn fault -tb testbenches/uart_smoke.tb -backend bitpacked -json
 //	c2nn fault -circuit SPI -random 64 -limit 2000
 //	c2nn profile -circuit UART -backend bitpacked -trace trace.json
+//	c2nn watch -tb testbenches/uart_smoke.tb -serve :9090
 //
 // Flags:
 //
@@ -30,7 +31,10 @@
 // fault coverage on the batched engine; see "c2nn fault -h" and
 // docs/FAULT.md. The profile subcommand compiles and runs a circuit
 // with the observability sink attached, exporting Chrome traces and
-// metrics; see "c2nn profile -h" and docs/OBSERVABILITY.md.
+// metrics; the watch subcommand monitors a looping replay live, with a
+// Prometheus /metrics endpoint, a sampled time series and a flight
+// recorder; see "c2nn profile -h", "c2nn watch -h" and
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -145,6 +149,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "profile" {
 		if err := runProfile(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "c2nn profile:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		if err := runWatch(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "c2nn watch:", err)
 			os.Exit(1)
 		}
 		return

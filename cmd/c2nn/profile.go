@@ -40,6 +40,7 @@ func runProfile(args []string) error {
 		metrOut   = fs.String("metrics", "", "write the metrics dump as JSON")
 		topN      = fs.Int("top", 10, "hot-layer table size (0 hides it)")
 		activityF = fs.Bool("activity", false, "enable activity-driven execution and report skip rate and per-root toggle rates")
+		maxSpans  = fs.Int("max-spans", obs.DefaultMaxSpans, "span arena capacity; spans beyond it are dropped (and reported)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: c2nn profile [-circuit name | -tb script.tb] [-backend b] [-cycles n] [-batch n] [-trace out.json] [-metrics out.json]")
@@ -79,7 +80,7 @@ func runProfile(args []string) error {
 		}
 	}
 
-	tr := obs.New()
+	tr := obs.NewWithLimit(*maxSpans)
 	model, err := c2nn.CompileBenchmark(c.Name, c2nn.Options{L: *lutSize, Trace: tr})
 	if err != nil {
 		return err
@@ -177,6 +178,12 @@ func runProfile(args []string) error {
 	printProfile(tr, *topN)
 	if probe != nil {
 		printActivity(eng, probe, *topN)
+	}
+	if dropped := tr.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr,
+			"\nWARNING: %d spans were DROPPED at the %d-span cap — per-layer totals above undercount the run.\n"+
+				"         Raise the cap with -max-spans, shorten the run (-cycles), or profile fewer layers.\n",
+			dropped, *maxSpans)
 	}
 	gcs := simengine.Throughput(model.GateCount, *cycles, *batch, elapsed)
 	fmt.Printf("\n%s (L=%d, %s): %d cycles x %d lanes in %s = %.3g gates·cycles/s\n",

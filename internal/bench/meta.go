@@ -9,14 +9,16 @@ import (
 
 // Meta identifies the machine and build a benchmark run came from, so
 // archived -json results stay comparable. GitDescribe is best-effort:
-// empty when git is unavailable or the tree is not a repository.
+// "unknown" when git is unavailable, the tree is not a repository, or
+// describe prints nothing — never empty, so downstream tooling (jq
+// filters, the regression gate) always has a value to show.
 type Meta struct {
 	GoVersion   string `json:"go_version"`
 	GOOS        string `json:"goos"`
 	GOARCH      string `json:"goarch"`
 	NumCPU      int    `json:"num_cpu"`
 	Timestamp   string `json:"timestamp"`
-	GitDescribe string `json:"git_describe,omitempty"`
+	GitDescribe string `json:"git_describe"`
 }
 
 // CollectMeta snapshots the run environment.
@@ -28,8 +30,24 @@ func CollectMeta() Meta {
 		NumCPU:    runtime.NumCPU(),
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
-	if out, err := exec.Command("git", "describe", "--always", "--dirty").Output(); err == nil {
-		m.GitDescribe = strings.TrimSpace(string(out))
-	}
+	m.GitDescribe = gitDescribe(func() ([]byte, error) {
+		return exec.Command("git", "describe", "--always", "--dirty").Output()
+	})
 	return m
+}
+
+// gitDescribe turns the raw `git describe` invocation into the meta
+// field, degrading to "unknown" on any failure or empty output. The
+// run function is injected so tests can exercise the failure paths
+// without depending on the checkout state.
+func gitDescribe(run func() ([]byte, error)) string {
+	out, err := run()
+	if err != nil {
+		return "unknown"
+	}
+	s := strings.TrimSpace(string(out))
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestGitDescribeFallsBackToUnknown(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() ([]byte, error)
+		want string
+	}{
+		{"command fails", func() ([]byte, error) { return nil, errors.New("git: not found") }, "unknown"},
+		{"empty output", func() ([]byte, error) { return []byte(""), nil }, "unknown"},
+		{"whitespace output", func() ([]byte, error) { return []byte("  \n"), nil }, "unknown"},
+		{"clean describe", func() ([]byte, error) { return []byte("v1.2-3-gabc123\n"), nil }, "v1.2-3-gabc123"},
+	}
+	for _, tc := range cases {
+		if got := gitDescribe(tc.run); got != tc.want {
+			t.Errorf("%s: gitDescribe = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// The meta JSON must always carry a git_describe key with a non-empty
+// value — consumers like the regression gate key on it.
+func TestCollectMetaGitNeverEmptyInJSON(t *testing.T) {
+	m := CollectMeta()
+	if m.GitDescribe == "" {
+		t.Fatal("CollectMeta returned an empty GitDescribe")
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := decoded["git_describe"].(string)
+	if !ok || strings.TrimSpace(v) == "" {
+		t.Errorf("meta JSON git_describe = %#v, want non-empty string", decoded["git_describe"])
+	}
+	if m.GoVersion == "" || m.NumCPU < 1 || m.Timestamp == "" {
+		t.Errorf("meta fields incomplete: %+v", m)
+	}
+}

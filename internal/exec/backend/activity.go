@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"sync/atomic"
+
 	"c2nn/internal/exec/plan"
 	"c2nn/internal/obs"
 )
@@ -38,7 +40,13 @@ type activity struct {
 	rows [][][]int32
 	tabs [][][]uint64
 
-	nDirty, nSkipped int64 // lifetime cluster dispatch tallies
+	// Lifetime tallies are atomic so samplers and StatsSnapshot can
+	// read them from another goroutine while a pass is in flight.
+	nDirty, nSkipped atomic.Int64
+	// rootTog[r] counts passes on which root r actually toggled
+	// (invalidations excluded) — the busiest-root signal behind the
+	// telemetry layer's toggle windows.
+	rootTog          []atomic.Int64
 	cDirty, cSkipped *obs.Counter
 }
 
@@ -65,6 +73,7 @@ func (a *activity) enable(p *plan.Plan, tr *obs.Trace) error {
 		a.units += len(slots)
 	}
 	a.rootDirty = make([]bool, idx.NumRoots)
+	a.rootTog = make([]atomic.Int64, idx.NumRoots)
 	a.dirty = make([]bool, len(a.meta.Clusters))
 	a.rows = make([][][]int32, len(p.Layers))
 	a.tabs = make([][][]uint64, len(p.Layers))
@@ -97,6 +106,9 @@ func (a *activity) begin(rootToggled func(root int) bool) {
 	for r := range a.rootDirty {
 		t := rootToggled(r)
 		a.rootDirty[r] = t || inval
+		if t {
+			a.rootTog[r].Add(1)
+		}
 	}
 	var nd int64
 	for ci := range a.meta.Clusters {
@@ -127,8 +139,8 @@ func (a *activity) begin(rootToggled func(root int) bool) {
 		}
 	}
 	ns := int64(len(a.dirty)) - nd
-	a.nDirty += nd
-	a.nSkipped += ns
+	a.nDirty.Add(nd)
+	a.nSkipped.Add(ns)
 	if a.cDirty != nil {
 		a.cDirty.Add(nd)
 		a.cSkipped.Add(ns)
@@ -187,4 +199,25 @@ func (a *activity) rowsFor(li, gi int, g *plan.RowGroup) ([]int32, []uint64) {
 func (a *activity) invalidate() { a.invalid = true }
 
 // counters reports the lifetime dirty/skipped cluster dispatch tallies.
-func (a *activity) counters() (dirty, skipped int64) { return a.nDirty, a.nSkipped }
+func (a *activity) counters() (dirty, skipped int64) {
+	return a.nDirty.Load(), a.nSkipped.Load()
+}
+
+// rootToggles copies the per-root toggle counts into dst (grown when
+// too small) and returns the filled slice; nil when activity is
+// disabled. Safe to call concurrently with a pass — each count is read
+// atomically, so the result is a consistent-enough live view for
+// telemetry ranking (busiest roots), not a barrier snapshot.
+func (a *activity) rootToggles(dst []int64) []int64 {
+	if !a.enabled {
+		return nil
+	}
+	if cap(dst) < len(a.rootTog) {
+		dst = make([]int64, len(a.rootTog))
+	}
+	dst = dst[:len(a.rootTog)]
+	for r := range a.rootTog {
+		dst[r] = a.rootTog[r].Load()
+	}
+	return dst
+}

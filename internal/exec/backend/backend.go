@@ -97,6 +97,13 @@ type Backend interface {
 	// and skipped clean over the backend's lifetime (both zero when
 	// activity is disabled).
 	ActivityCounters() (dirty, skipped int64)
+	// ActivityRootToggles copies the lifetime per-root toggle counts
+	// (how many passes each sequential root — input port or FF Q bit —
+	// actually changed value) into dst, growing it when needed, and
+	// returns the filled slice in plan.ActivityIndex root order. Returns
+	// nil when activity is disabled. Safe concurrently with Forward;
+	// telemetry ranks busiest roots from consecutive windows of these.
+	ActivityRootToggles(dst []int64) []int64
 }
 
 // New builds a backend of the given kind over the plan. The pool may be

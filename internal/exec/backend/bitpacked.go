@@ -28,6 +28,15 @@ type bpBackend struct {
 	// lanes beyond the batch in the last word.
 	actPrev  []uint64
 	tailMask uint64
+	// cur + the pre-built closures keep RunLayer allocation-free; see
+	// the f32Backend comment for the escape rationale.
+	cur struct {
+		l    *plan.Layer
+		kind plan.KernelKind
+		rows []int32
+		tabs []uint64
+	}
+	genericFn, groupFn func(lo, hi int)
 }
 
 func newBitPacked(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) (*bpBackend, error) {
@@ -64,8 +73,50 @@ func newBitPacked(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) (*bpBacken
 		tr.Gauge("bp.planes.max").Set(maxPlanes)
 		tr.Gauge("bp.planes.capacity").Set(tensor.MaxPlanes)
 	}
-	return &bpBackend{plan: p, batch: batch, words: words, pool: pool, in: newInstr(tr, p),
-		acts: make([]uint64, p.ArenaUnits*words)}, nil
+	e := &bpBackend{plan: p, batch: batch, words: words, pool: pool, in: newInstr(tr, p),
+		acts: make([]uint64, p.ArenaUnits*words)}
+	e.genericFn = func(lo, hi int) {
+		l := e.cur.l
+		out := e.acts[int(l.OutSlot)*e.words:]
+		if l.Kernel == plan.KernelLinear {
+			l.WInt.PackedLinearRange(e.acts, e.words, out, lo, hi)
+		} else {
+			l.WInt.PackedThreshRange(e.acts, e.words, l.Thresh, out, lo, hi)
+		}
+	}
+	e.groupFn = func(lo, hi int) {
+		l, words := e.cur.l, e.words
+		w := l.WInt
+		out := e.acts[int(l.OutSlot)*words:]
+		rows := e.cur.rows[lo:hi]
+		switch e.cur.kind {
+		case plan.KConst0:
+			tensor.PackedConstRows(out, words, rows, false)
+		case plan.KConst1:
+			tensor.PackedConstRows(out, words, rows, true)
+		case plan.KCopy:
+			w.PackedCopyRows(e.acts, words, out, rows, false)
+		case plan.KNot:
+			w.PackedCopyRows(e.acts, words, out, rows, true)
+		case plan.KAnd:
+			w.PackedAndRows(e.acts, words, out, rows, false)
+		case plan.KNand:
+			w.PackedAndRows(e.acts, words, out, rows, true)
+		case plan.KOr:
+			w.PackedOrRows(e.acts, words, out, rows, false)
+		case plan.KNor:
+			w.PackedOrRows(e.acts, words, out, rows, true)
+		case plan.KXor2:
+			w.PackedXorRows(e.acts, words, out, rows)
+		case plan.KTable:
+			w.PackedTableRows(e.acts, words, out, rows, e.cur.tabs[lo:hi])
+		case plan.KLinear:
+			w.PackedLinearRows(e.acts, words, out, rows)
+		default:
+			w.PackedThreshRows(e.acts, words, l.Thresh, out, rows)
+		}
+	}
+	return e, nil
 }
 
 func (e *bpBackend) Kind() Kind { return BitPacked }
@@ -97,6 +148,9 @@ func (e *bpBackend) InvalidateActivity() { e.act.invalidate() }
 // ActivityCounters reports dirty/skipped tallies (Backend interface).
 func (e *bpBackend) ActivityCounters() (int64, int64) { return e.act.counters() }
 
+// ActivityRootToggles reports per-root toggle counts (Backend interface).
+func (e *bpBackend) ActivityRootToggles(dst []int64) []int64 { return e.act.rootToggles(dst) }
+
 // rootToggled diffs root r's packed rows against the snapshot — one
 // XOR + zero test per word, last word masked to real lanes — and
 // refreshes the snapshot rows that changed.
@@ -117,22 +171,12 @@ func (e *bpBackend) rootToggled(r int) bool {
 
 func (e *bpBackend) RunLayer(li int) {
 	sp := e.in.beginLayer(li, e.plan.Layers[li].Kernel)
-	words := e.words
 	l := &e.plan.Layers[li]
-	w := l.WInt
-	out := e.acts[int(l.OutSlot)*words:]
+	e.cur.l = l
 	if len(l.Groups) == 0 {
 		// Hand-built plans carry no kernel IR; run the whole layer
 		// through the generic range kernels.
-		if l.Kernel == plan.KernelLinear {
-			e.pool.Run(w.Rows, func(lo, hi int) {
-				w.PackedLinearRange(e.acts, words, out, lo, hi)
-			})
-		} else {
-			e.pool.Run(w.Rows, func(lo, hi int) {
-				w.PackedThreshRange(e.acts, words, l.Thresh, out, lo, hi)
-			})
-		}
+		e.pool.Run(l.WInt.Rows, e.genericFn)
 		sp.End()
 		return
 	}
@@ -143,35 +187,8 @@ func (e *bpBackend) RunLayer(li int) {
 			continue // every row's cluster is clean this pass
 		}
 		e.in.countRows(g.Kind, len(gRows))
-		e.pool.Run(len(gRows), func(lo, hi int) {
-			rows := gRows[lo:hi]
-			switch g.Kind {
-			case plan.KConst0:
-				tensor.PackedConstRows(out, words, rows, false)
-			case plan.KConst1:
-				tensor.PackedConstRows(out, words, rows, true)
-			case plan.KCopy:
-				w.PackedCopyRows(e.acts, words, out, rows, false)
-			case plan.KNot:
-				w.PackedCopyRows(e.acts, words, out, rows, true)
-			case plan.KAnd:
-				w.PackedAndRows(e.acts, words, out, rows, false)
-			case plan.KNand:
-				w.PackedAndRows(e.acts, words, out, rows, true)
-			case plan.KOr:
-				w.PackedOrRows(e.acts, words, out, rows, false)
-			case plan.KNor:
-				w.PackedOrRows(e.acts, words, out, rows, true)
-			case plan.KXor2:
-				w.PackedXorRows(e.acts, words, out, rows)
-			case plan.KTable:
-				w.PackedTableRows(e.acts, words, out, rows, gTables[lo:hi])
-			case plan.KLinear:
-				w.PackedLinearRows(e.acts, words, out, rows)
-			default:
-				w.PackedThreshRows(e.acts, words, l.Thresh, out, rows)
-			}
-		})
+		e.cur.kind, e.cur.rows, e.cur.tabs = g.Kind, gRows, gTables
+		e.pool.Run(len(gRows), e.groupFn)
 	}
 	sp.End()
 }

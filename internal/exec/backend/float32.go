@@ -18,11 +18,33 @@ type f32Backend struct {
 	// actPrev snapshots the root units' lanes at the start of each
 	// activity pass for the toggle diff.
 	actPrev []float32
+	// cur is the in-flight dispatch read by the pre-built pool closures
+	// below. Pool.Run blocks until every chunk completes, so the fields
+	// are stable for a dispatch's duration; building the closures once
+	// here keeps RunLayer allocation-free (closures handed to Pool.Run
+	// escape through the job channel and would otherwise heap-allocate
+	// on every layer of every pass).
+	cur struct {
+		l    *plan.Layer
+		kind plan.KernelKind
+		rows []int32
+		tabs []uint64
+	}
+	genericFn, groupFn func(lo, hi int)
 }
 
 func newFloat32(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) *f32Backend {
-	return &f32Backend{plan: p, batch: batch, pool: pool, in: newInstr(tr, p),
+	e := &f32Backend{plan: p, batch: batch, pool: pool, in: newInstr(tr, p),
 		acts: make([]float32, p.ArenaUnits*batch)}
+	e.genericFn = func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			e.genericRow(e.cur.l, r)
+		}
+	}
+	e.groupFn = func(lo, hi int) {
+		e.groupRows(e.cur.l, e.cur.kind, e.cur.rows, e.cur.tabs, lo, hi)
+	}
+	return e
 }
 
 func (e *f32Backend) Kind() Kind { return Float32 }
@@ -53,6 +75,9 @@ func (e *f32Backend) InvalidateActivity() { e.act.invalidate() }
 // ActivityCounters reports dirty/skipped tallies (Backend interface).
 func (e *f32Backend) ActivityCounters() (int64, int64) { return e.act.counters() }
 
+// ActivityRootToggles reports per-root toggle counts (Backend interface).
+func (e *f32Backend) ActivityRootToggles(dst []int64) []int64 { return e.act.rootToggles(dst) }
+
 // rootToggled diffs root r's lanes against the snapshot and refreshes
 // the rows that changed. Activations are exact 0/1 floats, so the
 // equality compare is sound.
@@ -77,13 +102,9 @@ func (e *f32Backend) rootToggled(r int) bool {
 func (e *f32Backend) RunLayer(li int) {
 	sp := e.in.beginLayer(li, e.plan.Layers[li].Kernel)
 	l := &e.plan.Layers[li]
-	w := l.W
+	e.cur.l = l
 	if len(l.Groups) == 0 {
-		e.pool.Run(w.Rows, func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				e.genericRow(l, r)
-			}
-		})
+		e.pool.Run(l.W.Rows, e.genericFn)
 		sp.End()
 		return
 	}
@@ -94,9 +115,8 @@ func (e *f32Backend) RunLayer(li int) {
 			continue // every row's cluster is clean this pass
 		}
 		e.in.countRows(g.Kind, len(gRows))
-		e.pool.Run(len(gRows), func(lo, hi int) {
-			e.groupRows(l, g.Kind, gRows, gTables, lo, hi)
-		})
+		e.cur.kind, e.cur.rows, e.cur.tabs = g.Kind, gRows, gTables
+		e.pool.Run(len(gRows), e.groupFn)
 	}
 	sp.End()
 }

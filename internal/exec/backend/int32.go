@@ -18,11 +18,29 @@ type i32Backend struct {
 	// actPrev snapshots the root units' lanes at the start of each
 	// activity pass for the toggle diff.
 	actPrev []int32
+	// cur + the pre-built closures keep RunLayer allocation-free; see
+	// the f32Backend comment for the escape rationale.
+	cur struct {
+		l    *plan.Layer
+		kind plan.KernelKind
+		rows []int32
+		tabs []uint64
+	}
+	genericFn, groupFn func(lo, hi int)
 }
 
 func newInt32(p *plan.Plan, batch int, pool *Pool, tr *obs.Trace) *i32Backend {
-	return &i32Backend{plan: p, batch: batch, pool: pool, in: newInstr(tr, p),
+	e := &i32Backend{plan: p, batch: batch, pool: pool, in: newInstr(tr, p),
 		acts: make([]int32, p.ArenaUnits*batch)}
+	e.genericFn = func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			e.genericRow(e.cur.l, r)
+		}
+	}
+	e.groupFn = func(lo, hi int) {
+		e.groupRows(e.cur.l, e.cur.kind, e.cur.rows, e.cur.tabs, lo, hi)
+	}
+	return e
 }
 
 func (e *i32Backend) Kind() Kind { return Int32 }
@@ -53,6 +71,9 @@ func (e *i32Backend) InvalidateActivity() { e.act.invalidate() }
 // ActivityCounters reports dirty/skipped tallies (Backend interface).
 func (e *i32Backend) ActivityCounters() (int64, int64) { return e.act.counters() }
 
+// ActivityRootToggles reports per-root toggle counts (Backend interface).
+func (e *i32Backend) ActivityRootToggles(dst []int64) []int64 { return e.act.rootToggles(dst) }
+
 // rootToggled diffs root r's lanes against the snapshot and refreshes
 // the rows that changed.
 func (e *i32Backend) rootToggled(r int) bool {
@@ -76,13 +97,9 @@ func (e *i32Backend) rootToggled(r int) bool {
 func (e *i32Backend) RunLayer(li int) {
 	sp := e.in.beginLayer(li, e.plan.Layers[li].Kernel)
 	l := &e.plan.Layers[li]
-	w := l.WInt
+	e.cur.l = l
 	if len(l.Groups) == 0 {
-		e.pool.Run(w.Rows, func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				e.genericRow(l, r)
-			}
-		})
+		e.pool.Run(l.WInt.Rows, e.genericFn)
 		sp.End()
 		return
 	}
@@ -93,9 +110,8 @@ func (e *i32Backend) RunLayer(li int) {
 			continue // every row's cluster is clean this pass
 		}
 		e.in.countRows(g.Kind, len(gRows))
-		e.pool.Run(len(gRows), func(lo, hi int) {
-			e.groupRows(l, g.Kind, gRows, gTables, lo, hi)
-		})
+		e.cur.kind, e.cur.rows, e.cur.tabs = g.Kind, gRows, gTables
+		e.pool.Run(len(gRows), e.groupFn)
 	}
 	sp.End()
 }

@@ -70,9 +70,10 @@ func (t *Trace) Dump() *MetricsDump {
 		d.Gauges = append(d.Gauges, GaugeDump{Name: name, Value: g.Value()})
 	}
 	for name, h := range t.histograms {
+		s := h.Snapshot() // one consistent read: Count == ΣCounts, Sum matches
 		d.Histograms = append(d.Histograms, HistogramDump{
-			Name: name, Edges: h.Edges(), Counts: h.Counts(),
-			Count: h.Count(), Sum: h.Sum(),
+			Name: name, Edges: s.Edges, Counts: s.Counts,
+			Count: s.Count, Sum: s.Sum,
 		})
 	}
 	t.metricsMu.Unlock()

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// A snapshot taken mid-write must be internally consistent: the bucket
+// counts must sum to Count, and Sum must cover exactly those
+// observations. With every writer observing the same value v this is
+// checkable exactly: Sum == Count*v must hold in every snapshot, no
+// matter when it lands relative to in-flight Observes. Run under -race
+// in CI.
+func TestHistogramSnapshotConsistencyUnderWriters(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 5000
+		value   = 7
+	)
+	h := NewHistogram([]int64{5, 10, 100})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(value)
+			}
+		}()
+	}
+	// Snapshot continuously while the writers hammer.
+	snaps := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done); stop.Store(true) }()
+	for !stop.Load() {
+		s := h.Snapshot()
+		snaps++
+		var total int64
+		for _, c := range s.Counts {
+			total += c
+		}
+		if total != s.Count {
+			t.Fatalf("snapshot %d: Σcounts = %d, Count = %d", snaps, total, s.Count)
+		}
+		if s.Sum != s.Count*value {
+			t.Fatalf("snapshot %d: Sum = %d, want Count*value = %d", snaps, s.Sum, s.Count*value)
+		}
+	}
+	<-done
+	final := h.Snapshot()
+	if want := int64(workers * perW); final.Count != want {
+		t.Fatalf("final Count = %d, want %d", final.Count, want)
+	}
+	if want := int64(workers * perW * value); final.Sum != want {
+		t.Fatalf("final Sum = %d, want %d", final.Sum, want)
+	}
+	// value 7 lands in the v <= 10 bucket.
+	if final.Counts[1] != int64(workers*perW) {
+		t.Fatalf("bucket[1] = %d, want %d", final.Counts[1], workers*perW)
+	}
+}
+
+// Snapshots are deltas folded back into a cumulative total: repeated
+// snapshots must keep reporting the grand total, not just the window
+// since the last snapshot.
+func TestHistogramSnapshotCumulative(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.Observe(1)
+	h.Observe(2)
+	if s := h.Snapshot(); s.Count != 2 || s.Sum != 3 {
+		t.Fatalf("first snapshot = %+v, want count 2 sum 3", s)
+	}
+	h.Observe(20)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 23 {
+		t.Fatalf("second snapshot = %+v, want count 3 sum 23", s)
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 1 {
+		t.Fatalf("buckets = %v, want [2 1]", s.Counts)
+	}
+	if h.Count() != 3 || h.Sum() != 23 {
+		t.Fatalf("accessors = %d/%d, want 3/23", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 40})
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // bucket [0,10]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // bucket (10,20]
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %v, want 10 (bucket boundary)", q)
+	}
+	if q := s.Quantile(1); q != 20 {
+		t.Errorf("p100 = %v, want 20", q)
+	}
+	if q := s.Quantile(0.25); q != 5 {
+		t.Errorf("p25 = %v, want 5 (mid-bucket interpolation)", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	// Overflow-bucket observations report the last edge.
+	h2 := NewHistogram([]int64{10})
+	h2.Observe(1000)
+	if q := h2.Snapshot().Quantile(0.99); q != 10 {
+		t.Errorf("overflow quantile = %v, want 10", q)
+	}
+}
+
+func TestHistogramNilAndNoEdges(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Counts != nil {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	h2 := NewHistogram(nil)
+	h2.Observe(42)
+	s := h2.Snapshot()
+	if len(s.Counts) != 1 || s.Counts[0] != 1 || s.Sum != 42 {
+		t.Fatalf("edgeless snapshot = %+v", s)
+	}
+}

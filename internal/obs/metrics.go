@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,42 @@ type Trace struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	// rec, when attached, mirrors closed spans and receives structured
+	// lifecycle events — the always-on flight recorder.
+	rec atomic.Pointer[FlightRecorder]
+}
+
+// AttachFlightRecorder attaches (or with nil detaches) a flight
+// recorder: closed spans are mirrored into its ring and Event records
+// land there. Safe to call at any time; no-op on a nil Trace.
+func (t *Trace) AttachFlightRecorder(fr *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.rec.Store(fr)
+}
+
+// FlightRecorder returns the attached recorder (nil when detached or
+// on a nil Trace).
+func (t *Trace) FlightRecorder() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec.Load()
+}
+
+// Event records a structured lifecycle event into the attached flight
+// recorder. Without a recorder (or on a nil Trace) it is a single
+// branch and an atomic load — cheap enough to leave compiled into
+// engine lifecycle paths.
+func (t *Trace) Event(kind, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	if fr := t.rec.Load(); fr != nil {
+		fr.Record(kind, name, attrs...)
+	}
 }
 
 // Counter is a monotonically increasing metric, safe for concurrent
@@ -66,26 +103,153 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// histHalf is one side of the histogram's hot/cold double buffer.
+// done counts observations fully recorded into this half, which is how
+// a snapshot knows when the cold half has quiesced.
+type histHalf struct {
+	counts []atomic.Int64 // len(edges)+1
+	sum    atomic.Int64
+	done   atomic.Int64
+}
+
 // Histogram buckets integer observations by fixed upper-bound edges:
 // observation v lands in the first bucket whose edge satisfies
 // v <= edge, with one implicit overflow bucket past the last edge. A
 // nil *Histogram is inert.
+//
+// Writers record into the hot half of a double buffer; Snapshot flips
+// the halves, waits for in-flight writers to drain out of the now-cold
+// half, and reads it without any concurrent mutation — so a snapshot
+// taken mid-write can never report a bucket/count/sum mix from
+// different instants (the sampler and the Prometheus exporter rely on
+// this). Observe stays lock-free: four atomic ops, no allocation.
 type Histogram struct {
-	edges  []int64
-	counts []atomic.Int64 // len(edges)+1
-	sum    atomic.Int64
-	n      atomic.Int64
+	edges []int64
+	// hotAndCount packs the hot-half index in bit 63 and the lifetime
+	// count of initiated observations in the low 63 bits. One Add
+	// claims a slot in the hot half and counts the observation.
+	hotAndCount atomic.Uint64
+	halves      [2]histHalf
+	snapMu      sync.Mutex
 }
+
+// NewHistogram creates a standalone histogram with the given sorted
+// bucket edges — for callers that meter outside a Trace registry (the
+// engine's per-pass clock when no sink is attached). Trace.Histogram
+// remains the registered path.
+func NewHistogram(edges []int64) *Histogram {
+	h := &Histogram{edges: append([]int64(nil), edges...)}
+	for i := range h.halves {
+		h.halves[i].counts = make([]atomic.Int64, len(edges)+1)
+	}
+	return h
+}
+
+const histCountMask = 1<<63 - 1
 
 // Observe records one value; no-op on nil.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
+	n := h.hotAndCount.Add(1)
+	half := &h.halves[n>>63]
 	i := sort.Search(len(h.edges), func(i int) bool { return v <= h.edges[i] })
-	h.counts[i].Add(1)
-	h.sum.Add(v)
-	h.n.Add(1)
+	half.counts[i].Add(1)
+	half.sum.Add(v)
+	half.done.Add(1)
+}
+
+// HistogramSnapshot is one internally consistent read of a histogram:
+// Count always equals the sum of Counts, and Sum covers exactly those
+// observations.
+type HistogramSnapshot struct {
+	Edges  []int64 `json:"edges"`
+	Counts []int64 `json:"counts"` // len(Edges)+1, last is overflow
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Snapshot atomically captures the histogram: it flips the hot half,
+// waits for writers still inside the cold half to finish, reads the
+// quiesced half, then folds it back into the hot half so totals stay
+// cumulative. Safe for concurrent use with Observe; nil yields the
+// zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.snapMu.Lock()
+	defer h.snapMu.Unlock()
+	n := h.hotAndCount.Add(1 << 63) // flip the hot half
+	initiated := int64(n & histCountMask)
+	hot := &h.halves[n>>63]
+	cold := &h.halves[1-n>>63]
+	// Every observation initiated before the flip landed in the cold
+	// half (directly, or via an earlier fold); wait out the stragglers.
+	for cold.done.Load() != initiated {
+		runtime.Gosched()
+	}
+	s := HistogramSnapshot{
+		Edges:  append([]int64(nil), h.edges...),
+		Counts: make([]int64, len(cold.counts)),
+		Sum:    cold.sum.Load(),
+	}
+	for i := range cold.counts {
+		c := cold.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	// Fold the cold half into the hot one and zero it, so the next flip
+	// again finds all history on one side.
+	for i := range cold.counts {
+		hot.counts[i].Add(s.Counts[i])
+		cold.counts[i].Store(0)
+	}
+	hot.sum.Add(s.Sum)
+	cold.sum.Store(0)
+	hot.done.Add(initiated)
+	cold.done.Store(0)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the snapshot by
+// linear interpolation within the owning bucket, mirroring Prometheus'
+// histogram_quantile. The overflow bucket reports its lower edge.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		lo := 0.0
+		if i > 0 {
+			lo = float64(s.Edges[i-1])
+		}
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i >= len(s.Edges) { // overflow bucket has no upper edge
+				return lo
+			}
+			hi := float64(s.Edges[i])
+			if rank <= cum {
+				return lo
+			}
+			return lo + (hi-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	if len(s.Edges) > 0 {
+		return float64(s.Edges[len(s.Edges)-1])
+	}
+	return 0
 }
 
 // Edges returns the bucket upper bounds.
@@ -97,16 +261,13 @@ func (h *Histogram) Edges() []int64 {
 }
 
 // Counts returns the per-bucket counts (len(Edges())+1, the last being
-// the overflow bucket).
+// the overflow bucket). Use Snapshot when Counts, Count and Sum must
+// agree with each other.
 func (h *Histogram) Counts() []int64 {
 	if h == nil {
 		return nil
 	}
-	out := make([]int64, len(h.counts))
-	for i := range h.counts {
-		out[i] = h.counts[i].Load()
-	}
-	return out
+	return h.Snapshot().Counts
 }
 
 // Count returns the number of observations; Sum their total.
@@ -114,7 +275,7 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.n.Load()
+	return int64(h.hotAndCount.Load() & histCountMask)
 }
 
 // Sum returns the total of all observed values.
@@ -122,7 +283,7 @@ func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum.Load()
+	return h.Snapshot().Sum
 }
 
 // Counter returns (registering on first use) the named counter, or nil
@@ -178,10 +339,7 @@ func (t *Trace) Histogram(name string, edges []int64) *Histogram {
 	}
 	h, ok := t.histograms[name]
 	if !ok {
-		h = &Histogram{
-			edges:  append([]int64(nil), edges...),
-			counts: make([]atomic.Int64, len(edges)+1),
-		}
+		h = NewHistogram(edges)
 		t.histograms[name] = h
 	}
 	return h

@@ -123,8 +123,13 @@ func (s Span) End() {
 			sd.open = false
 		}
 	}
+	sd := &t.spans[s.idx]
+	name, start, dur := sd.name, sd.start, sd.dur
 	t.stack = t.stack[:pos]
 	t.mu.Unlock()
+	if fr := t.rec.Load(); fr != nil {
+		fr.RecordSpan(name, t.epoch.Add(start), dur)
+	}
 }
 
 // SetInt attaches an integer attribute; chainable. No-op on the zero

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format export (version 0.0.4, the format every
+// Prometheus server scrapes). Metric names in the obs registry use
+// dotted paths ("exec.cluster.skipped"); the exporter rewrites them to
+// the Prometheus grammar ([a-zA-Z_:][a-zA-Z0-9_:]*) and appends the
+// conventional _total suffix to counters, so the registry's
+// "exec.cluster.skipped" counter scrapes as
+// "exec_cluster_skipped_total". Histograms expand to the cumulative
+// _bucket{le="..."} series plus _sum and _count. Per-name span
+// aggregates export as obs_span_seconds_total / obs_span_count with a
+// span label, and the span-arena drop tally as
+// obs_dropped_spans_total.
+
+// promName rewrites a registry name to the Prometheus name grammar:
+// every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit is prefixed.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_') // a name cannot start with a digit
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus exports the trace's metric registry (and span
+// aggregates) in the Prometheus text exposition format — the payload
+// of the obs.Server /metrics endpoint. Counters gain the _total
+// suffix; histograms emit one internally consistent snapshot each, so
+// the _count line always equals the +Inf bucket.
+func (t *Trace) WritePrometheus(w io.Writer) error {
+	if t == nil {
+		return errors.New("obs: cannot export a nil trace")
+	}
+	bw := bufio.NewWriter(w)
+	d := t.Dump()
+
+	for _, c := range d.Counters {
+		n := promName(c.Name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range d.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", n, n, g.Value)
+	}
+	for _, h := range d.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, edge := range h.Edges {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", n, edge, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+
+	if len(d.Spans) > 0 {
+		spans := append([]SpanStatDump(nil), d.Spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Name < spans[j].Name })
+		fmt.Fprintf(bw, "# TYPE obs_span_seconds_total counter\n")
+		for _, s := range spans {
+			fmt.Fprintf(bw, "obs_span_seconds_total{span=\"%s\"} %g\n",
+				promLabel(s.Name), float64(s.TotalNS)/1e9)
+		}
+		fmt.Fprintf(bw, "# TYPE obs_span_count counter\n")
+		for _, s := range spans {
+			fmt.Fprintf(bw, "obs_span_count{span=\"%s\"} %d\n", promLabel(s.Name), s.Count)
+		}
+	}
+	fmt.Fprintf(bw, "# TYPE obs_dropped_spans_total counter\nobs_dropped_spans_total %d\n",
+		d.DroppedSpans)
+	return bw.Flush()
+}

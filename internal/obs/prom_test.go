@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	tr := New()
+	clock := fakeClock(tr)
+	tr.Counter("exec.cluster.skipped").Add(42)
+	tr.Gauge("bp.lanes.used").Set(256)
+	h := tr.Histogram("engine.pass_ns", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	sp := tr.Begin("forward")
+	*clock = 1500 * time.Microsecond
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE exec_cluster_skipped_total counter\nexec_cluster_skipped_total 42\n",
+		"# TYPE bp_lanes_used gauge\nbp_lanes_used 256\n",
+		"# TYPE engine_pass_ns histogram\n",
+		"engine_pass_ns_bucket{le=\"10\"} 1\n",
+		"engine_pass_ns_bucket{le=\"100\"} 2\n",
+		"engine_pass_ns_bucket{le=\"+Inf\"} 3\n",
+		"engine_pass_ns_sum 5055\n",
+		"engine_pass_ns_count 3\n",
+		"obs_span_seconds_total{span=\"forward\"} 0.0015\n",
+		"obs_span_count{span=\"forward\"} 1\n",
+		"obs_dropped_spans_total 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Every sample line must match the text exposition grammar.
+	line := regexp.MustCompile(`^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+(e[-+0-9]+)?)$`)
+	for _, l := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !line.MatchString(l) {
+			t.Errorf("malformed exposition line: %q", l)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"exec.kernel.and":   "exec_kernel_and",
+		"layer 003 general": "layer_003_general",
+		"9lives":            "_9lives",
+		"ok_name:x":         "ok_name:x",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("promLabel = %q", got)
+	}
+}
+
+func TestWritePrometheusNil(t *testing.T) {
+	var tr *Trace
+	if err := tr.WritePrometheus(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil trace must refuse to export")
+	}
+}

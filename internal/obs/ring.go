@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultFlightEvents is the default flight-recorder capacity: enough
+// recent history to reconstruct how a long run got wedged, small
+// enough to sit resident forever.
+const DefaultFlightEvents = 1 << 13
+
+// Event is one flight-recorder entry: a structured lifecycle event
+// (engine create/reset/poke, fault-overlay install/remove, …) or the
+// mirror of a closed span. Dur is zero for instantaneous events.
+type Event struct {
+	Time  time.Time
+	Kind  string // taxonomy bucket: "engine", "overlay", "span", ...
+	Name  string
+	Dur   time.Duration // closed spans only
+	Attrs []Attr
+}
+
+// FlightRecorder is a fixed-size ring buffer of recent events — the
+// always-on post-mortem channel of a long-running engine. Unlike a
+// Trace's span arena it never grows and never saturates: new events
+// overwrite the oldest, so a dump after hours of simulation shows the
+// last DefaultFlightEvents things that happened, not the first. Safe
+// for concurrent use; a nil *FlightRecorder is inert.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	head  int   // next write position
+	n     int   // occupied entries, ≤ len(buf)
+	total int64 // lifetime records (overwrites included)
+}
+
+// NewFlightRecorder creates a recorder holding the most recent
+// `capacity` events (min 1; ≤ 0 selects DefaultFlightEvents).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightEvents
+	}
+	return &FlightRecorder{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full. No-op on
+// nil.
+func (fr *FlightRecorder) Record(kind, name string, attrs ...Attr) {
+	fr.record(Event{Time: time.Now(), Kind: kind, Name: name, Attrs: attrs})
+}
+
+// RecordSpan mirrors a closed span into the ring; start is the span's
+// wall-clock begin time.
+func (fr *FlightRecorder) RecordSpan(name string, start time.Time, dur time.Duration) {
+	fr.record(Event{Time: start, Kind: "span", Name: name, Dur: dur})
+}
+
+func (fr *FlightRecorder) record(ev Event) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.buf[fr.head] = ev
+	fr.head = (fr.head + 1) % len(fr.buf)
+	if fr.n < len(fr.buf) {
+		fr.n++
+	}
+	fr.total++
+	fr.mu.Unlock()
+}
+
+// Events snapshots the ring, oldest first.
+func (fr *FlightRecorder) Events() []Event {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]Event, 0, fr.n)
+	start := (fr.head - fr.n + len(fr.buf)) % len(fr.buf)
+	for i := 0; i < fr.n; i++ {
+		out = append(out, fr.buf[(start+i)%len(fr.buf)])
+	}
+	return out
+}
+
+// Len reports occupied entries; Cap the ring size; Total lifetime
+// records including overwritten ones.
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.n
+}
+
+// Cap reports the ring capacity.
+func (fr *FlightRecorder) Cap() int {
+	if fr == nil {
+		return 0
+	}
+	return len(fr.buf)
+}
+
+// Total reports lifetime records, overwrites included.
+func (fr *FlightRecorder) Total() int64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.total
+}
+
+// WriteChromeTrace dumps the ring as Chrome trace_event JSON — the
+// same format as Trace.WriteChromeTrace, loadable in chrome://tracing
+// or Perfetto. Span mirrors emit as "X" complete events, structured
+// events as global "i" instants; timestamps are microseconds since the
+// oldest retained event. The dump is the post-mortem artifact: wire it
+// to an HTTP endpoint, an error path, or SIGQUIT.
+func (fr *FlightRecorder) WriteChromeTrace(w io.Writer) error {
+	if fr == nil {
+		return errors.New("obs: cannot dump a nil flight recorder")
+	}
+	events := fr.Events()
+	var epoch time.Time
+	if len(events) > 0 {
+		epoch = events[0].Time
+	}
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = append(f.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]any{"name": "c2nn flight recorder"},
+	})
+	for i := range events {
+		ev := &events[i]
+		var args map[string]any
+		for _, a := range ev.Attrs {
+			if args == nil {
+				args = make(map[string]any, len(ev.Attrs))
+			}
+			if a.IsStr {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Int
+			}
+		}
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind,
+			Ts:   float64(ev.Time.Sub(epoch).Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		}
+		if ev.Dur > 0 {
+			d := float64(ev.Dur.Nanoseconds()) / 1e3
+			ce.Ph, ce.Dur = "X", &d
+		} else {
+			ce.Ph = "i"
+			ce.Scope = "g"
+		}
+		f.TraceEvents = append(f.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}

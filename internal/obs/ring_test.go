@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 7; i++ {
+		fr.Record("engine", fmt.Sprintf("ev%d", i))
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("ev%d", i+3); ev.Name != want {
+			t.Errorf("event %d = %q, want %q (oldest-first, overwrites dropped)", i, ev.Name, want)
+		}
+	}
+	if fr.Total() != 7 || fr.Len() != 4 || fr.Cap() != 4 {
+		t.Errorf("total/len/cap = %d/%d/%d, want 7/4/4", fr.Total(), fr.Len(), fr.Cap())
+	}
+}
+
+func TestFlightRecorderNilInert(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record("x", "y")
+	fr.RecordSpan("s", time.Now(), time.Second)
+	if fr.Events() != nil || fr.Len() != 0 || fr.Cap() != 0 || fr.Total() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+	if err := fr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil recorder must refuse to dump")
+	}
+}
+
+func TestFlightRecorderChromeDump(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	fr.Record("overlay", "overlay.install", Attr{Key: "classes", Int: 63})
+	fr.RecordSpan("forward", time.Now(), 2*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := fr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Dur  *float64       `json:"dur"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for i, ev := range f.TraceEvents {
+		byName[ev.Name] = i
+	}
+	inst := f.TraceEvents[byName["overlay.install"]]
+	if inst.Ph != "i" || inst.S != "g" || inst.Cat != "overlay" {
+		t.Errorf("instant event = %+v, want global instant in cat overlay", inst)
+	}
+	if inst.Args["classes"] != float64(63) {
+		t.Errorf("instant args = %v, want classes 63", inst.Args)
+	}
+	span := f.TraceEvents[byName["forward"]]
+	if span.Ph != "X" || span.Dur == nil || *span.Dur != 2000 {
+		t.Errorf("span event = %+v, want X with dur 2000µs", span)
+	}
+}
+
+// Spans closed on a Trace with a recorder attached are mirrored into
+// the ring; Trace.Event lands structured events there too.
+func TestTraceFlightRecorderMirroring(t *testing.T) {
+	tr := New()
+	fr := NewFlightRecorder(8)
+	tr.AttachFlightRecorder(fr)
+	if tr.FlightRecorder() != fr {
+		t.Fatal("recorder not attached")
+	}
+
+	sp := tr.Begin("forward")
+	sp.End()
+	tr.Event("engine", "reset", Attr{Key: "gen", Int: 3})
+
+	evs := fr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != "span" || evs[0].Name != "forward" {
+		t.Errorf("event 0 = %+v, want mirrored span", evs[0])
+	}
+	if evs[1].Kind != "engine" || evs[1].Name != "reset" || len(evs[1].Attrs) != 1 {
+		t.Errorf("event 1 = %+v, want engine reset with attr", evs[1])
+	}
+
+	tr.AttachFlightRecorder(nil)
+	tr.Event("engine", "ignored")
+	sp = tr.Begin("x")
+	sp.End()
+	if fr.Total() != 2 {
+		t.Errorf("detached recorder still receiving events (total %d)", fr.Total())
+	}
+
+	var nilTr *Trace
+	nilTr.AttachFlightRecorder(fr) // must not panic
+	nilTr.Event("a", "b")
+	if nilTr.FlightRecorder() != nil {
+		t.Error("nil trace must report a nil recorder")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr.Record("k", "n")
+				if i%100 == 0 {
+					fr.Events()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fr.Total() != 2000 || fr.Len() != 64 {
+		t.Fatalf("total/len = %d/%d, want 2000/64", fr.Total(), fr.Len())
+	}
+}

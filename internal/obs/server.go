@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the zero-dependency telemetry endpoint of a long-running
+// engine: it serves the trace registry as Prometheus text, the
+// sampler's time series, the flight-recorder dump and the standard
+// net/http/pprof profiles. Routes:
+//
+//	GET /metrics       Prometheus text exposition (scrape target)
+//	GET /metrics.json  full metrics dump (same schema as -metrics files)
+//	GET /samples.json  sampler time series (when a sampler is attached)
+//	GET /flight.json   flight-recorder dump as Chrome trace JSON
+//	GET /healthz       {"status":"ok", uptime, samples, spans dropped}
+//	GET /debug/pprof/  CPU/heap/goroutine profiles
+//
+// Everything is read-only and safe to expose while the engine runs:
+// handlers read the registry through the same consistent-snapshot
+// paths as the exporters.
+type Server struct {
+	tr      *Trace
+	sampler *Sampler
+	fr      *FlightRecorder
+	start   time.Time
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServerOptions attaches the optional data sources.
+type ServerOptions struct {
+	// Sampler, when non-nil, backs /samples.json and the healthz
+	// sample count.
+	Sampler *Sampler
+	// Recorder, when non-nil, backs /flight.json. Defaults to the
+	// trace's attached flight recorder.
+	Recorder *FlightRecorder
+}
+
+// NewServer builds a telemetry server over the trace. It does not
+// listen until Start.
+func NewServer(tr *Trace, opts ServerOptions) *Server {
+	fr := opts.Recorder
+	if fr == nil {
+		fr = tr.FlightRecorder()
+	}
+	return &Server{tr: tr, sampler: opts.Sampler, fr: fr, start: time.Now()}
+}
+
+// Handler returns the route mux — exposed separately so tests (and
+// embedders with their own listeners) can drive it directly.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.tr.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.tr.WriteMetricsJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/samples.json", func(w http.ResponseWriter, r *http.Request) {
+		if s.sampler == nil {
+			http.Error(w, "no sampler attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.sampler.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/flight.json", func(w http.ResponseWriter, r *http.Request) {
+		fr := s.fr
+		if fr == nil {
+			fr = s.tr.FlightRecorder()
+		}
+		if fr == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := fr.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		h := struct {
+			Status       string  `json:"status"`
+			UptimeSec    float64 `json:"uptime_sec"`
+			Samples      int     `json:"samples"`
+			DroppedSpans int64   `json:"dropped_spans"`
+			FlightEvents int     `json:"flight_events"`
+		}{Status: "ok", UptimeSec: time.Since(s.start).Seconds(), DroppedSpans: s.tr.Dropped()}
+		if s.sampler != nil {
+			h.Samples = len(s.sampler.Samples())
+		}
+		if fr := s.fr; fr != nil {
+			h.FlightEvents = fr.Len()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h) //nolint:errcheck // best-effort health payload
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	if s.ln != nil {
+		return "", fmt.Errorf("obs: server already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr reports the bound address (empty before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	s.srv, s.ln = nil, nil
+	return err
+}

@@ -86,12 +86,21 @@ type Options struct {
 	// never recycled. Bit-identical to a non-activity engine on every
 	// workload — the differential battery enforces it.
 	Activity bool
+	// Stats turns on continuous runtime statistics: every Forward is
+	// timed into a pass-latency histogram and pass/cycle counters, and
+	// StatsSnapshot derives throughput EWMA, activity skip rate and
+	// busiest-root toggle windows from them. The hot-path cost is a few
+	// atomic adds per pass; disabled it is a single nil check and zero
+	// allocations (benchmark-enforced).
+	Stats bool
 	// Trace, when non-nil, attaches the observability sink: the plan
 	// lowering records a "plan" span and arena counters, every Forward
 	// records a "forward" span with per-layer kernel child spans, and
 	// the backend registers its dispatch counters and (bit-packed)
-	// plane/lane occupancy gauges. Nil disables all of it at the cost
-	// of one branch per hook.
+	// plane/lane occupancy gauges. With Stats also set, the pass
+	// histogram and engine gauges land in the trace's registry, so the
+	// obs exporters (Prometheus, sampler) see them. Nil disables all of
+	// it at the cost of one branch per hook.
 	Trace *obs.Trace
 }
 
@@ -118,6 +127,7 @@ type Engine struct {
 	activity bool
 	overlay  Overlay
 	tr       *obs.Trace
+	stats    *engineStats // nil when Options.Stats is off
 	close    sync.Once
 	// gen counts state mutations the activity root-diff cannot observe
 	// (Reset, PokeUnit, overlay churn); observers like analyze.Probe
@@ -178,7 +188,14 @@ func New(model *nn.Model, opts Options) (*Engine, error) {
 		activity: opts.Activity,
 		tr:       opts.Trace,
 	}
+	if opts.Stats {
+		e.stats = newEngineStats(opts.Trace)
+	}
 	runtime.SetFinalizer(e, func(e *Engine) { e.Close() })
+	e.tr.Event("engine", "create",
+		obs.Attr{Key: "circuit", Str: model.CircuitName, IsStr: true},
+		obs.Attr{Key: "batch", Int: int64(e.batch)},
+		obs.Attr{Key: "precision", Str: e.prec.String(), IsStr: true})
 	e.Reset()
 	return e, nil
 }
@@ -236,6 +253,7 @@ func (e *Engine) Reset() {
 	// the next activity pass must recompute everything.
 	e.gen++
 	e.be.InvalidateActivity()
+	e.tr.Event("engine", "reset", obs.Attr{Key: "gen", Int: int64(e.gen)})
 }
 
 // SetInput loads an input port: values[b] is the port value for batch
@@ -305,6 +323,11 @@ func (e *Engine) WithFaults(o Overlay) error {
 	// see it, so the next activity pass recomputes everything.
 	e.gen++
 	e.be.InvalidateActivity()
+	if o != nil {
+		e.tr.Event("overlay", "overlay.install", obs.Attr{Key: "gen", Int: int64(e.gen)})
+	} else {
+		e.tr.Event("overlay", "overlay.remove", obs.Attr{Key: "gen", Int: int64(e.gen)})
+	}
 	return nil
 }
 
@@ -322,6 +345,13 @@ func (e *Engine) PokeUnit(unit int32, lane int, v bool) {
 	e.be.Set(e.plan.Slot[unit], lane, v)
 	e.gen++
 	e.be.InvalidateActivity()
+	// Overlays poke per layer per pass; the recorder check keeps the
+	// variadic attr slice from being built when nobody is listening.
+	if e.tr.FlightRecorder() != nil {
+		e.tr.Event("engine", "poke",
+			obs.Attr{Key: "unit", Int: int64(unit)},
+			obs.Attr{Key: "lane", Int: int64(lane)})
+	}
 }
 
 // Forward runs one combinational pass: every plan layer's fused kernel
@@ -329,18 +359,24 @@ func (e *Engine) PokeUnit(unit int32, lane int, v bool) {
 // layer by layer, applying the overlay before the first layer (layer
 // -1) and after each completed layer.
 func (e *Engine) Forward() {
+	var t0 time.Time
+	if e.stats != nil {
+		t0 = time.Now()
+	}
 	sp := e.tr.Begin("forward")
 	if e.overlay == nil {
 		e.be.Forward()
-		sp.End()
-		return
-	}
-	e.overlay.Apply(e, -1)
-	for li := range e.plan.Layers {
-		e.be.RunLayer(li)
-		e.overlay.Apply(e, li)
+	} else {
+		e.overlay.Apply(e, -1)
+		for li := range e.plan.Layers {
+			e.be.RunLayer(li)
+			e.overlay.Apply(e, li)
+		}
 	}
 	sp.End()
+	if e.stats != nil {
+		e.stats.recordPass(int64(time.Since(t0)))
+	}
 }
 
 // LatchFeedback copies every flip-flop D value back to its Q input slot
@@ -355,6 +391,9 @@ func (e *Engine) LatchFeedback() {
 func (e *Engine) Step() {
 	e.Forward()
 	e.LatchFeedback()
+	if e.stats != nil {
+		e.stats.recordCycle()
+	}
 }
 
 // GetOutput reads an output port across lanes (values as set by the

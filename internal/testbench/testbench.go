@@ -334,7 +334,7 @@ func (s *Script) RunOpts(eng *simengine.Engine, opts RunOptions) (Result, error)
 				eng.Step()
 				res.Steps++
 				if err := trace(); err != nil {
-					return res, fmt.Errorf("line %d: %v", d.Line, err)
+					return res, fmt.Errorf("line %d: %w", d.Line, err)
 				}
 			}
 			settled = false
@@ -342,7 +342,7 @@ func (s *Script) RunOpts(eng *simengine.Engine, opts RunOptions) (Result, error)
 			eng.Forward()
 			settled = true
 			if err := trace(); err != nil {
-				return res, fmt.Errorf("line %d: %v", d.Line, err)
+				return res, fmt.Errorf("line %d: %w", d.Line, err)
 			}
 		case OpReset:
 			eng.Reset()

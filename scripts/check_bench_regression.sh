@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # check_bench_regression.sh NEW.json BASELINE.json
 # check_bench_regression.sh -activity BENCH_activity.json
+# check_bench_regression.sh -telemetry BENCH_telemetry.json [BASELINE.json]
 #
 # Default mode diffs a fresh BENCH_exec.json against the committed
 # baseline and fails when bitpacked throughput regresses more than 20%
@@ -17,7 +18,58 @@
 # bit-equal, the uart_smoke.tb row must have a positive skip rate, and
 # dense-random rows (the skip machinery's worst case) must not lose more
 # than 20% throughput to the root-diff overhead.
+#
+# -telemetry mode checks a BENCH_telemetry.json (bench -telemetry): per
+# row, the engine hot path with telemetry disabled must be allocation-
+# free (allocs_per_step_off < TELEMETRY_ALLOC_EPS, default 0.01 — i.e.
+# effectively zero over hundreds of steps), and enabling the full stack
+# (stats + sampler + flight recorder) must cost at most
+# TELEMETRY_TOL_PCT percent of wall-clock per step (default 1, the
+# design target; CI passes slack for shared-runner noise). With a
+# baseline file, the sampler-derived throughput of the telemetry-on leg
+# is also diffed against the baseline's bitpacked_gcs rows — reported as
+# a NOTE because absolute g·c/s varies with runner hardware.
 set -euo pipefail
+
+if [ "${1:-}" = "-telemetry" ]; then
+  tel=${2:?usage: check_bench_regression.sh -telemetry BENCH_telemetry.json [BASELINE.json]}
+  base=${3:-}
+  tol=${TELEMETRY_TOL_PCT:-1}
+  eps=${TELEMETRY_ALLOC_EPS:-0.01}
+  fail=0
+  while IFS=$'\t' read -r circuit l ovh alloc_off alloc_on pass_ns gcs; do
+    tag="$circuit L=$l"
+    ok=$(awk -v a="$alloc_off" -v e="$eps" 'BEGIN { print (a < e) ? 1 : 0 }')
+    if [ "$ok" != "1" ]; then
+      echo "FAIL  $tag: $alloc_off allocs/step with telemetry disabled, want < $eps (hot path must be allocation-free)"
+      fail=1
+      continue
+    fi
+    ok=$(awk -v o="$ovh" -v t="$tol" 'BEGIN { print (o <= t) ? 1 : 0 }')
+    if [ "$ok" != "1" ]; then
+      echo "FAIL  $tag: telemetry-on overhead ${ovh}%, limit ${tol}%"
+      fail=1
+      continue
+    fi
+    echo "OK    $tag: overhead ${ovh}% (limit ${tol}%), allocs/step off=$alloc_off on=$alloc_on, sampler pass ${pass_ns} ns"
+    if [ -n "$base" ]; then
+      bgcs=$(jq -r --arg c "$circuit" --argjson l "$l" \
+        '[.rows[] | select(.circuit == $c and .l == $l)] | first | .bitpacked_gcs // "missing"' "$base")
+      if [ "$bgcs" = "missing" ] || [ "$bgcs" = "null" ]; then
+        echo "NOTE  $tag: no bitpacked baseline row to diff sampler throughput against"
+      else
+        ratio=$(awk -v g="$gcs" -v b="$bgcs" 'BEGIN { printf "%.2f", g / b }')
+        echo "NOTE  $tag: sampler-derived ${gcs} g·c/s vs baseline bitpacked ${bgcs} (x${ratio}, hardware-dependent)"
+      fi
+    fi
+  done < <(jq -r '.rows[] | "\(.circuit)\t\(.l)\t\(.overhead_pct)\t\(.allocs_per_step_off)\t\(.allocs_per_step_on)\t\(.sampler_pass_ns)\t\(.sampler_gcs)"' "$tel")
+  nrows=$(jq '.rows | length' "$tel")
+  if [ "$nrows" -lt 1 ]; then
+    echo "FAIL  no telemetry rows in $tel"
+    fail=1
+  fi
+  exit $fail
+fi
 
 if [ "${1:-}" = "-activity" ]; then
   act=${2:?usage: check_bench_regression.sh -activity BENCH_activity.json}
